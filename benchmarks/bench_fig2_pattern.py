@@ -1,0 +1,65 @@
+"""Figure 2: the RS-BRIEF pattern compared with the original BRIEF pattern.
+
+The figure is qualitative (a scatter of test locations); the reproducible
+quantities are the pattern sizes, the exact 32-fold symmetry of RS-BRIEF, the
+absence of symmetry in the original pattern and the hardware-motivating
+storage comparison (8+8 seed locations vs a 30-angle LUT of 512 locations).
+"""
+
+import numpy as np
+
+from repro.config import DescriptorConfig
+from repro.features import (
+    RotatedPatternLUT,
+    generate_seed,
+    original_brief_pattern,
+    pattern_symmetry_error,
+    rs_brief_pattern,
+)
+
+from conftest import print_section
+
+
+def test_fig2_rs_brief_pattern_generation(benchmark):
+    pattern = benchmark(rs_brief_pattern)
+    print_section("Figure 2: RS-BRIEF pattern properties")
+    config = DescriptorConfig()
+    seed = generate_seed(config)
+    symmetry_error = pattern_symmetry_error(pattern, config.symmetry, config.seed_pairs)
+    radii = np.sqrt((pattern.s_locations**2).sum(axis=1))
+    print(f"test pairs:              {pattern.num_bits} (paper: 256)")
+    print(f"seed pairs:              {seed.num_pairs} (paper: 8 + 8 locations)")
+    print(f"rotational symmetry:     32-fold, max mismatch {symmetry_error:.2e} px")
+    print(f"pattern radius:          {radii.max():.1f} px (patch radius 15)")
+    assert pattern.num_bits == 256
+    assert symmetry_error < 1e-9
+
+
+def test_fig2_original_pattern_lacks_symmetry(benchmark):
+    pattern = benchmark(original_brief_pattern)
+    error = pattern_symmetry_error(pattern, 32, 8)
+    print_section("Figure 2: original BRIEF pattern (comparison)")
+    print(f"test pairs: {pattern.num_bits}, 32-fold symmetry mismatch {error:.2f} px (not symmetric)")
+    assert error > 1.0
+
+
+def test_fig2_storage_comparison(benchmark):
+    """The hardware motivation: RS-BRIEF stores 16 seed locations, the
+    original ORB approach stores 30 pre-rotated patterns of 512 locations."""
+
+    def storage():
+        lut = RotatedPatternLUT(original_brief_pattern())
+        seed = generate_seed()
+        return {
+            "orb_lut_locations": lut.storage_locations(),
+            "rs_brief_seed_locations": 2 * seed.num_pairs,
+        }
+
+    result = benchmark(storage)
+    print_section("Figure 2 follow-up: on-chip pattern storage")
+    ratio = result["orb_lut_locations"] / result["rs_brief_seed_locations"]
+    print(f"original ORB 30-angle LUT: {result['orb_lut_locations']} stored locations")
+    print(f"RS-BRIEF seed:             {result['rs_brief_seed_locations']} stored locations")
+    print(f"reduction:                 {ratio:.0f}x")
+    assert result["orb_lut_locations"] == 15360
+    assert result["rs_brief_seed_locations"] == 16

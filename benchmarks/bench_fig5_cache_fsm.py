@@ -1,0 +1,49 @@
+"""Figure 5: the I/O schedule of the ping-pong Image Cache.
+
+The figure shows three cache lines (A, B, C) of 8 pixel columns each: the FSM
+pre-stores 16 columns in lines A and B, then in every state one line receives
+new columns while the other two stream to the datapath, cycling A -> B -> C.
+The benchmark streams a full 640x480 image through the cache model and checks
+the schedule literally.
+"""
+
+import numpy as np
+
+from repro.hw import stream_image_through_cache
+
+from conftest import print_section
+
+
+def test_fig5_image_cache_fsm_schedule(benchmark, vga_image):
+    cache, num_states = benchmark.pedantic(
+        stream_image_through_cache,
+        args=(vga_image.pixels,),
+        kwargs={"columns_per_line": 8, "num_lines": 3},
+        rounds=1,
+        iterations=1,
+    )
+    schedule = cache.fsm_schedule()
+    print_section("Figure 5: Image Cache FSM schedule (first 6 states)")
+    line_names = "ABC"
+    for state_index, (filling, streaming) in enumerate(schedule[:6]):
+        streams = " and ".join(line_names[i] for i in streaming)
+        print(
+            f"  state {state_index + 1}: line {line_names[filling]} receives 8 columns, "
+            f"lines {streams} stream to the 7x7 window"
+        )
+    print(f"  ... {num_states} states to stream the full 640-column image")
+    # the documented rotation A -> B -> C -> A ...
+    assert [filling for filling, _ in schedule[:6]] == [0, 1, 2, 0, 1, 2]
+    assert num_states == 80  # 640 columns / 8 columns per line
+    assert cache.readable_columns() == 24  # 3 lines x 8 columns resident
+
+
+def test_fig5_cache_window_correctness(benchmark, vga_image):
+    """Windows served by the cache match the original image content."""
+
+    def stream_and_check():
+        cache, _ = stream_image_through_cache(vga_image.pixels[:64], columns_per_line=8)
+        window = cache.window(center_column=636, width=7)
+        return np.array_equal(window, vga_image.pixels[:64, 633:640])
+
+    assert benchmark(stream_and_check)

@@ -1,0 +1,85 @@
+"""Figure 7: the parallelised pipeline for normal frames and key frames.
+
+For normal frames the FPGA (FE + FM of frame N+1) overlaps the ARM (PE + PO
+of frame N), so the steady-state frame time is max(FE+FM, PE+PO) = 17.9 ms.
+For key frames the matcher must wait for map updating, so the frame time is
+FM + PE + PO + MU = 31.8 ms.  The benchmark rebuilds both Gantt schedules and
+verifies the overlap rules.
+"""
+
+from repro.platforms import (
+    ESLAM,
+    EslamRuntimeModel,
+    NOMINAL_WORKLOAD,
+    PipelineModel,
+)
+
+from conftest import print_section
+
+
+def _print_schedule(entries):
+    for entry in sorted(entries, key=lambda e: (e.resource, e.start_ms)):
+        print(
+            f"  {entry.resource:<5s} {entry.stage:<20s} "
+            f"{entry.start_ms:7.2f} -> {entry.end_ms:7.2f} ms"
+        )
+
+
+def test_fig7_normal_frame_schedule(benchmark):
+    model = EslamRuntimeModel()
+    pipeline = PipelineModel(ESLAM)
+    stages = model.stage_runtimes(NOMINAL_WORKLOAD)
+
+    def build():
+        return pipeline.schedule(stages, is_keyframe=False)
+
+    entries = benchmark(build)
+    print_section("Figure 7 (upper): normal-frame pipeline")
+    _print_schedule(entries)
+    frame_time = pipeline.frame_time_ms(stages, is_keyframe=False)
+    print(f"  steady-state frame time: {frame_time:.1f} ms (paper 17.9 ms)")
+    # FE and FM both fit inside the ARM's PE+PO window -> fully hidden
+    fpga_end = max(e.end_ms for e in entries if e.resource == "FPGA")
+    arm_end = max(e.end_ms for e in entries if e.resource == "ARM")
+    assert fpga_end <= arm_end + 1e-9
+    assert abs(frame_time - 17.9) / 17.9 < 0.02
+
+
+def test_fig7_key_frame_schedule(benchmark):
+    model = EslamRuntimeModel()
+    pipeline = PipelineModel(ESLAM)
+    stages = model.stage_runtimes(NOMINAL_WORKLOAD)
+
+    def build():
+        return pipeline.schedule(stages, is_keyframe=True)
+
+    entries = benchmark(build)
+    print_section("Figure 7 (lower): key-frame pipeline")
+    _print_schedule(entries)
+    frame_time = pipeline.frame_time_ms(stages, is_keyframe=True)
+    print(f"  steady-state frame time: {frame_time:.1f} ms (paper 31.8 ms)")
+    mu_end = next(e.end_ms for e in entries if e.stage == "map_updating")
+    fm_start = next(e.start_ms for e in entries if e.stage == "feature_matching")
+    assert fm_start >= mu_end  # the matcher waits for map updating
+    assert abs(frame_time - 31.8) / 31.8 < 0.03
+
+
+def test_fig7_keyframe_ratio_sweep(benchmark):
+    """Average frame rate as the key-frame ratio varies (between the two Table 3 rows)."""
+    model = EslamRuntimeModel()
+    pipeline = PipelineModel(ESLAM)
+    stages = model.stage_runtimes(NOMINAL_WORKLOAD)
+
+    def sweep():
+        return {
+            ratio: pipeline.average_timing(stages, keyframe_ratio=ratio)["frame_rate_fps"]
+            for ratio in (0.0, 0.25, 0.5, 0.75, 1.0)
+        }
+
+    rates = benchmark(sweep)
+    print_section("Figure 7 follow-up: frame rate vs key-frame ratio")
+    for ratio, fps in rates.items():
+        print(f"  key-frame ratio {ratio:.2f}: {fps:5.1f} fps")
+    assert rates[0.0] > rates[0.5] > rates[1.0]
+    assert abs(rates[0.0] - 55.87) / 55.87 < 0.05
+    assert abs(rates[1.0] - 31.45) / 31.45 < 0.05

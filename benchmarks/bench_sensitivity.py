@@ -1,0 +1,57 @@
+"""Sensitivity sweeps beyond the paper's single operating point.
+
+The paper evaluates one configuration; these benchmarks ask how the comparison
+of Table 3 shifts as the global map grows, the feature budget changes or the
+input resolution scales -- the questions a prospective adopter of eSLAM would
+ask next.  They exercise exactly the models that reproduce Tables 2/3.
+"""
+
+from repro.platforms import ARM_CORTEX_A9, ESLAM, INTEL_I7, SensitivityAnalysis
+from repro.platforms.sensitivity import eslam_accelerator_resolution_latency
+
+from conftest import print_section
+
+
+def test_sensitivity_map_size(benchmark):
+    analysis = SensitivityAnalysis(keyframe_ratio=0.25)
+    points = benchmark(analysis.map_size_sweep, (500, 1000, 1500, 3000, 6000))
+    print_section("Sensitivity: global-map size vs average frame rate (25% key frames)")
+    print("  map points |    ARM fps |     i7 fps |  eSLAM fps")
+    for point in points:
+        print(
+            f"  {point.parameter:10.0f} | {point.frame_rate_fps[ARM_CORTEX_A9.name]:10.2f} | "
+            f"{point.frame_rate_fps[INTEL_I7.name]:10.2f} | {point.frame_rate_fps[ESLAM.name]:10.2f}"
+        )
+    eslam_limit = SensitivityAnalysis.real_time_limit(points, ESLAM.name, fps=30.0)
+    i7_limit = SensitivityAnalysis.real_time_limit(points, INTEL_I7.name, fps=30.0)
+    print(f"  largest map sustaining 30 fps: eSLAM {eslam_limit}, i7 {i7_limit}, ARM never")
+    assert eslam_limit is not None and eslam_limit >= 1500
+    for point in points:
+        assert point.frame_rate_fps[ESLAM.name] > point.frame_rate_fps[INTEL_I7.name]
+
+
+def test_sensitivity_feature_budget(benchmark):
+    analysis = SensitivityAnalysis(keyframe_ratio=0.25)
+    points = benchmark(analysis.feature_budget_sweep, (256, 512, 1024, 2048))
+    print_section("Sensitivity: retained-feature budget vs average energy per frame")
+    print("  features |   ARM mJ |    i7 mJ | eSLAM mJ")
+    for point in points:
+        print(
+            f"  {point.parameter:8.0f} | {point.energy_per_frame_mj[ARM_CORTEX_A9.name]:8.1f} | "
+            f"{point.energy_per_frame_mj[INTEL_I7.name]:8.1f} | "
+            f"{point.energy_per_frame_mj[ESLAM.name]:8.2f}"
+        )
+    for point in points:
+        assert point.energy_per_frame_mj[ESLAM.name] < point.energy_per_frame_mj[ARM_CORTEX_A9.name]
+
+
+def test_sensitivity_resolution(benchmark):
+    latencies = benchmark.pedantic(
+        eslam_accelerator_resolution_latency, args=((0.5, 0.75, 1.0, 1.5),), rounds=1, iterations=1
+    )
+    print_section("Sensitivity: input resolution vs accelerator FE latency")
+    for scale, latency in latencies.items():
+        print(f"  {int(640 * scale)}x{int(480 * scale)}: {latency:6.2f} ms")
+    assert latencies[1.5] > latencies[1.0] > latencies[0.5]
+    # the streaming extractor stays within a 30 fps budget even at 1.5x VGA
+    assert latencies[1.5] < 33.3

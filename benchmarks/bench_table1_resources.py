@@ -1,0 +1,51 @@
+"""Table 1: FPGA resource utilisation of eSLAM on the Zynq XCZ7045.
+
+Paper values: 56954 LUT (26.0%), 67809 FF (15.5%), 111 DSP (12.3%),
+78 BRAM (14.3%).  The benchmark times the resource estimation itself and
+prints the per-module breakdown plus the paper-vs-model comparison.
+"""
+
+from repro.analysis import format_comparison, format_table, run_table1_resources
+from repro.hw import DeviceCapacity, ResourceModel
+
+from conftest import print_section
+
+
+def test_table1_resource_utilization(benchmark):
+    result = benchmark(run_table1_resources)
+    print_section("Table 1: FPGA resource utilisation (model vs paper)")
+    print(format_table(result["per_module"], title="Per-module estimate"))
+    paper = result["paper"]
+    totals = result["totals"]
+    utilization = result["utilization_percent"]
+    for resource in ("LUT", "FF", "DSP", "BRAM"):
+        print(format_comparison(f"{resource} count", paper[resource], totals[resource]))
+        print(
+            format_comparison(
+                f"{resource} utilisation",
+                paper[f"{resource}_percent"],
+                utilization[resource],
+                unit="%",
+            )
+        )
+    assert totals == {"LUT": 56954, "FF": 67809, "DSP": 111, "BRAM": 78}
+    assert result["fits_xc7z045"]
+
+
+def test_table1_design_fits_smaller_zynq_devices(benchmark):
+    """Section 4.1: only ~1/4 of the XCZ7045 is used, so smaller parts are feasible."""
+
+    def check():
+        report = ResourceModel().estimate()
+        return {
+            "xc7z045": report.fits(DeviceCapacity.xc7z045()),
+            "xc7z020": report.fits(DeviceCapacity.xc7z020()),
+            "lut_fraction_of_7z045": report.totals().luts / DeviceCapacity.xc7z045().luts,
+        }
+
+    result = benchmark(check)
+    print_section("Table 1 follow-up: prototyping on smaller SoCs")
+    print(f"fits XC7Z045: {result['xc7z045']}")
+    print(f"fits XC7Z020: {result['xc7z020']} (LUT-bound, as the paper's 1/4-utilisation remark implies)")
+    assert result["xc7z045"]
+    assert result["lut_fraction_of_7z045"] < 0.3

@@ -1,0 +1,70 @@
+"""Table 2: per-stage runtime breakdown on eSLAM, ARM Cortex-A9 and Intel i7.
+
+Paper values (ms): FE 9.1 / 291.6 / 32.5, FM 4.0 / 246.2 / 19.7,
+PE 9.2 / 0.9, PO 8.7 / 0.5, MU 9.9 / 1.2.  The reproduced values come from
+the accelerator cycle model (eSLAM FE/FM) and the calibrated CPU runtime
+models evaluated at the nominal workload.
+"""
+
+from repro.analysis import format_comparison, format_table, run_table2_runtime
+from repro.hw import EslamAccelerator
+from repro.image import GrayImage
+
+from conftest import print_section
+
+PAPER_ESLAM_FE_MS = 9.1
+PAPER_ESLAM_FM_MS = 4.0
+
+
+def test_table2_runtime_breakdown(benchmark):
+    result = benchmark(run_table2_runtime)
+    print_section("Table 2: runtime breakdown (ms)")
+    print(format_table(result["rows"]))
+    eslam_fe = result["rows"][0]["eSLAM"]
+    eslam_fm = result["rows"][1]["eSLAM"]
+    print(format_comparison("eSLAM feature extraction", PAPER_ESLAM_FE_MS, eslam_fe, "ms"))
+    print(format_comparison("eSLAM feature matching", PAPER_ESLAM_FM_MS, eslam_fm, "ms"))
+    speedups = result["stage_speedups"]
+    print(
+        "FE speedup vs ARM: {:.1f}x (paper 32x), vs i7: {:.1f}x (paper 3.6x)".format(
+            speedups["ARM Cortex-A9"]["feature_extraction"],
+            speedups["Intel i7-4700MQ"]["feature_extraction"],
+        )
+    )
+    print(
+        "FM speedup vs ARM: {:.1f}x (paper 61.6x), vs i7: {:.1f}x (paper 4.9x)".format(
+            speedups["ARM Cortex-A9"]["feature_matching"],
+            speedups["Intel i7-4700MQ"]["feature_matching"],
+        )
+    )
+    assert abs(eslam_fe - PAPER_ESLAM_FE_MS) / PAPER_ESLAM_FE_MS < 0.25
+    assert abs(eslam_fm - PAPER_ESLAM_FM_MS) / PAPER_ESLAM_FM_MS < 0.2
+
+
+def test_table2_fe_latency_model(benchmark):
+    """Time the accelerator FE cycle model itself at the paper's frame size."""
+    accelerator = EslamAccelerator()
+    blank = GrayImage.zeros(480, 640)
+
+    def feature_extraction_latency():
+        return accelerator.extractor.latency_from_profile(
+            blank, keypoints_after_nms=2000, descriptors_computed=2000
+        )
+
+    report = benchmark(feature_extraction_latency)
+    print_section("Table 2 detail: eSLAM FE cycle breakdown")
+    for name, cycles in sorted(report.cycles.components.items()):
+        print(f"  {name:<28s} {cycles:>12.0f} cycles")
+    print(f"  total latency: {report.latency_ms:.2f} ms (paper {PAPER_ESLAM_FE_MS} ms)")
+    assert report.latency_ms < 15.0
+
+
+def test_table2_fm_latency_model(benchmark):
+    """Time the matcher cycle model at the nominal 1024 x 1500 workload."""
+    accelerator = EslamAccelerator()
+    report = benchmark(accelerator.matcher.latency_for, 1024, 1500)
+    print_section("Table 2 detail: eSLAM FM cycle breakdown")
+    for name, cycles in sorted(report.cycles.components.items()):
+        print(f"  {name:<28s} {cycles:>12.0f} cycles")
+    print(f"  total latency: {report.latency_ms:.2f} ms (paper {PAPER_ESLAM_FM_MS} ms)")
+    assert report.latency_ms < 6.0

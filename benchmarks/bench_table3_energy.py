@@ -1,0 +1,43 @@
+"""Table 3: frame rate, power and energy per frame on the three platforms.
+
+Paper values: normal-frame runtimes 555.7 / 53.6 / 17.9 ms, key-frame
+runtimes 565.6 / 54.8 / 31.8 ms; frame rates 1.8 / 18.66 / 55.87 fps
+(normal) and 1.77 / 18.25 / 31.45 fps (key); power 1.574 / 47 / 1.936 W;
+energy 875 / 2519 / 35 mJ (normal) and 890 / 2575 / 62 mJ (key).
+"""
+
+from repro.analysis import format_comparison, format_table, run_table3_energy
+
+from conftest import print_section
+
+
+def test_table3_frame_rate_and_energy(benchmark):
+    result = benchmark(run_table3_energy)
+    print_section("Table 3: frame rate and energy efficiency")
+    print(format_table(result["rows"]))
+    paper = result["paper"]
+    frame_rows = {
+        (row["metric"], row["frame_kind"]): row for row in result["rows"]
+    }
+    checks = [
+        ("runtime_ms", "normal", "eSLAM", 17.9),
+        ("runtime_ms", "key", "eSLAM", 31.8),
+        ("frame_rate_fps", "normal", "eSLAM", 55.87),
+        ("frame_rate_fps", "key", "eSLAM", 31.45),
+        ("energy_per_frame_mj", "normal", "eSLAM", 35.0),
+        ("energy_per_frame_mj", "key", "eSLAM", 62.0),
+        ("frame_rate_fps", "normal", "ARM Cortex-A9", 1.8),
+        ("frame_rate_fps", "normal", "Intel i7-4700MQ", 18.66),
+    ]
+    for metric, kind, platform, paper_value in checks:
+        measured = frame_rows[(metric, kind)][platform]
+        print(format_comparison(f"{platform} {metric} ({kind})", paper_value, measured))
+        assert abs(measured - paper_value) / paper_value < 0.1
+    print("\nHeadline ratios (paper: 31x/17.8x vs ARM, 3x/1.7x vs i7 frame rate;")
+    print("                 25x/14x vs ARM, 71x/41x vs i7 energy):")
+    print(f"  speedups: {result['speedups']}")
+    print(f"  energy improvements: {result['energy_improvements']}")
+    assert 25 < result["speedups"]["ARM Cortex-A9"]["normal"] < 35
+    assert 60 < result["energy_improvements"]["Intel i7-4700MQ"]["normal"] < 80
+    # power figures are inputs (measured on the boards in the paper)
+    assert paper["power_w"]["eSLAM"] == 1.936

@@ -1,0 +1,56 @@
+"""Shared helpers for the benchmark harness.
+
+Every module in this directory regenerates one table or figure of the paper
+and prints the reproduced rows next to the paper's reported values, so that
+``pytest benchmarks/ --benchmark-only`` doubles as the reproduction report.
+Heavy experiments run at reduced scale through ``benchmark.pedantic`` with a
+single round; micro-kernels use the default timing loop.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ExtractorConfig, PyramidConfig, SlamConfig, TrackerConfig
+from repro.dataset import SequenceSpec, make_sequence
+from repro.image import random_blocks
+
+
+def print_section(title: str) -> None:
+    print("\n" + "=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+@pytest.fixture(scope="session")
+def vga_image():
+    """A full-resolution 640x480 texture (the paper's image size)."""
+    return random_blocks(480, 640, block=12, seed=3)
+
+
+@pytest.fixture(scope="session")
+def small_image():
+    """A quarter-resolution texture for software-pipeline micro-benchmarks."""
+    return random_blocks(240, 320, block=12, seed=4)
+
+
+@pytest.fixture(scope="session")
+def bench_slam_config():
+    """SLAM configuration used by the accuracy benchmarks (reduced resolution)."""
+    return SlamConfig(
+        extractor=ExtractorConfig(
+            image_width=320,
+            image_height=240,
+            pyramid=PyramidConfig(num_levels=2),
+            max_features=400,
+        ),
+        tracker=TrackerConfig(ransac_iterations=64, pose_iterations=10),
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_sequence():
+    """A 10-frame fr1/desk-style sequence at 320x240 shared across benchmarks."""
+    return make_sequence(
+        SequenceSpec(name="fr1/desk", num_frames=10, image_width=320, image_height=240)
+    )

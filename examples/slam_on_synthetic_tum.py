@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Run the full ORB-SLAM pipeline on a synthetic TUM-style sequence.
+
+Renders a desk-style RGB-D sequence, tracks it with the complete pipeline of
+Figure 1 (feature extraction, matching, PnP + RANSAC, pose optimisation,
+key-frame map updating), writes the estimated trajectory in TUM format and
+reports the absolute trajectory error -- the same evaluation behind Figures 8
+and 9 of the paper.
+
+Run with:  python examples/slam_on_synthetic_tum.py [sequence] [num_frames]
+           (sequence is one of fr1/xyz, fr2/xyz, fr1/desk, fr1/room, fr2/rpy)
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.config import ExtractorConfig, PyramidConfig, SlamConfig, TrackerConfig
+from repro.dataset import SequenceSpec, make_sequence, write_trajectory
+from repro.slam import SlamSystem
+
+
+def main(sequence_name: str = "fr1/desk", num_frames: int = 20) -> None:
+    spec = SequenceSpec(
+        name=sequence_name,
+        num_frames=num_frames,
+        image_width=320,
+        image_height=240,
+    )
+    print(f"rendering {num_frames} frames of a synthetic '{sequence_name}' sequence ...")
+    sequence = make_sequence(spec)
+
+    config = SlamConfig(
+        extractor=ExtractorConfig(
+            image_width=spec.image_width,
+            image_height=spec.image_height,
+            pyramid=PyramidConfig(num_levels=2),
+            max_features=400,
+        ),
+        tracker=TrackerConfig(ransac_iterations=64, pose_iterations=10),
+    )
+    system = SlamSystem(config)
+    print("tracking ...")
+    result = system.run(sequence)
+
+    for tracking in result.frame_results:
+        marker = "K" if tracking.is_keyframe else " "
+        print(
+            f"  frame {tracking.frame_index:3d} [{marker}] "
+            f"matches {tracking.num_matches:4d}  inliers {tracking.num_inliers:4d}  "
+            f"map {tracking.workload.map_size_after:5d} points"
+        )
+
+    ate = result.ate()
+    print(f"\ntracked {result.num_frames} frames, {result.num_keyframes} key frames "
+          f"({100 * result.keyframe_ratio:.0f}%)")
+    print(f"absolute trajectory error: mean {ate.mean_cm:.2f} cm, "
+          f"RMSE {ate.rmse_cm:.2f} cm, max {ate.max * 100:.2f} cm")
+    print("(the paper reports ~4.3 cm mean error on the real TUM sequences)")
+
+    output = Path("estimated_trajectory.txt")
+    write_trajectory(output, result.timestamps, result.estimated_poses)
+    print(f"estimated trajectory written to {output} in TUM format")
+
+
+if __name__ == "__main__":
+    name = sys.argv[1] if len(sys.argv) > 1 else "fr1/desk"
+    frames = int(sys.argv[2]) if len(sys.argv) > 2 else 20
+    main(name, frames)

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment this repository targets ships an older setuptools
+without PEP-517 editable-wheel support, so a classic ``setup.py`` is kept to
+allow ``pip install -e . --no-use-pep517 --no-build-isolation``.  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

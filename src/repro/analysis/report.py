@@ -1,0 +1,163 @@
+"""Reproduction report generation.
+
+Builds a Markdown report of the cheap (model-level) experiments -- Tables 1-3,
+the Figure-7 pipeline, the rescheduling and pyramid ablations -- by running
+the same experiment runners the benchmark harness uses.  The accuracy
+experiments (Figures 8/9) run full SLAM and are therefore optional and sized
+by the caller.
+
+This powers ``python -m repro.analysis.report``, which writes
+``reproduction_report.md`` so a user can regenerate a paper-vs-measured
+summary without reading benchmark output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional
+
+from .experiments import (
+    run_fig8_accuracy,
+    run_pyramid_ablation,
+    run_rescheduling_ablation,
+    run_table1_resources,
+    run_table2_runtime,
+    run_table3_energy,
+)
+from .tables import format_table
+
+
+@dataclass
+class ReportOptions:
+    """What to include in the generated report."""
+
+    include_accuracy: bool = False
+    accuracy_frames: int = 10
+    accuracy_width: int = 320
+    accuracy_height: int = 240
+
+
+def _section(title: str, body: str) -> str:
+    return f"## {title}\n\n{body}\n"
+
+
+def _code_block(text: str) -> str:
+    return f"```\n{text}\n```"
+
+
+def build_report(options: Optional[ReportOptions] = None) -> str:
+    """Return the full Markdown report as a string."""
+    options = options or ReportOptions()
+    sections: List[str] = ["# eSLAM reproduction report\n"]
+
+    # -- Table 1 ------------------------------------------------------------------
+    table1 = run_table1_resources()
+    body = _code_block(format_table(table1["per_module"]))
+    body += (
+        f"\n\nTotals: {table1['totals']} -- paper reports "
+        f"{ {k: v for k, v in table1['paper'].items() if not k.endswith('_percent')} }."
+    )
+    sections.append(_section("Table 1 -- FPGA resource utilisation", body))
+
+    # -- Table 2 ------------------------------------------------------------------
+    table2 = run_table2_runtime()
+    body = _code_block(format_table(table2["rows"]))
+    speedups = table2["stage_speedups"]
+    body += (
+        "\n\nStage speedups of eSLAM: "
+        f"FE {speedups['ARM Cortex-A9']['feature_extraction']:.1f}x vs ARM "
+        f"(paper 32x), {speedups['Intel i7-4700MQ']['feature_extraction']:.1f}x vs i7 (paper 3.6x); "
+        f"FM {speedups['ARM Cortex-A9']['feature_matching']:.1f}x vs ARM (paper 61.6x), "
+        f"{speedups['Intel i7-4700MQ']['feature_matching']:.1f}x vs i7 (paper 4.9x)."
+    )
+    sections.append(_section("Table 2 -- per-stage runtime (ms)", body))
+
+    # -- Table 3 ------------------------------------------------------------------
+    table3 = run_table3_energy()
+    body = _code_block(format_table(table3["rows"]))
+    body += (
+        "\n\nFrame-rate speedups: "
+        f"{table3['speedups']['ARM Cortex-A9']['normal']:.1f}x / "
+        f"{table3['speedups']['ARM Cortex-A9']['key']:.1f}x vs ARM (paper 31x / 17.8x), "
+        f"{table3['speedups']['Intel i7-4700MQ']['normal']:.1f}x / "
+        f"{table3['speedups']['Intel i7-4700MQ']['key']:.1f}x vs i7 (paper 3x / 1.7x).  "
+        "Energy improvements: "
+        f"{table3['energy_improvements']['ARM Cortex-A9']['normal']:.1f}x / "
+        f"{table3['energy_improvements']['ARM Cortex-A9']['key']:.1f}x vs ARM (paper ~25x / 14x), "
+        f"{table3['energy_improvements']['Intel i7-4700MQ']['normal']:.1f}x / "
+        f"{table3['energy_improvements']['Intel i7-4700MQ']['key']:.1f}x vs i7 (paper ~71x / 41x)."
+    )
+    sections.append(_section("Table 3 -- frame rate, power and energy", body))
+
+    # -- ablations -----------------------------------------------------------------
+    rescheduling = run_rescheduling_ablation()
+    pyramid = run_pyramid_ablation()
+    body = (
+        f"Rescheduled workflow: {rescheduling['rescheduled']['latency_ms']:.2f} ms, "
+        f"{rescheduling['rescheduled']['on_chip_bytes'] / 1024:.0f} KiB on-chip buffering; "
+        f"original workflow: {rescheduling['original']['latency_ms']:.2f} ms, "
+        f"{rescheduling['original']['on_chip_bytes'] / 1024:.0f} KiB "
+        f"({rescheduling['latency_reduction_percent']:.0f}% latency reduction).\n\n"
+        f"4-layer vs 2-layer pyramid: {pyramid['extra_pixels_percent']:.1f}% more pixels "
+        f"(paper: ~{pyramid['paper_extra_pixels_percent']:.0f}%)."
+    )
+    sections.append(_section("Design-choice ablations (Sections 3.1 / 4.4)", body))
+
+    # -- accuracy (optional, slow) ----------------------------------------------------
+    if options.include_accuracy:
+        rows = run_fig8_accuracy(
+            num_frames=options.accuracy_frames,
+            image_width=options.accuracy_width,
+            image_height=options.accuracy_height,
+        )
+        table = [
+            {
+                "sequence": row.sequence,
+                "RS-BRIEF (cm)": row.rs_brief_error_cm,
+                "original ORB (cm)": row.original_orb_error_cm,
+            }
+            for row in rows
+        ]
+        mean_rs = sum(r.rs_brief_error_cm for r in rows) / len(rows)
+        mean_orb = sum(r.original_orb_error_cm for r in rows) / len(rows)
+        body = _code_block(format_table(table))
+        body += (
+            f"\n\nMeans: RS-BRIEF {mean_rs:.2f} cm vs original ORB {mean_orb:.2f} cm on the "
+            "synthetic sequences (paper: 4.3 cm vs 4.16 cm on real TUM data; the reproduced "
+            "claim is that the two are comparable)."
+        )
+        sections.append(_section("Figure 8 -- trajectory accuracy", body))
+
+    sections.append(
+        "All FPGA and CPU figures above are model outputs (see DESIGN.md for the "
+        "substitutions); accuracy figures, when included, are measured on synthetic scenes.\n"
+    )
+    return "\n".join(sections)
+
+
+def write_report(path: str | Path, options: Optional[ReportOptions] = None) -> Path:
+    """Write the report to ``path`` and return the path."""
+    output = Path(path)
+    output.write_text(build_report(options))
+    return output
+
+
+def main() -> None:  # pragma: no cover - thin CLI wrapper
+    import argparse
+
+    parser = argparse.ArgumentParser(description="Generate the eSLAM reproduction report")
+    parser.add_argument("--output", default="reproduction_report.md")
+    parser.add_argument(
+        "--with-accuracy",
+        action="store_true",
+        help="also run the (slow) Figure-8 accuracy sweep",
+    )
+    args = parser.parse_args()
+    options = ReportOptions(include_accuracy=args.with_accuracy)
+    path = write_report(args.output, options)
+    print(f"report written to {path}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

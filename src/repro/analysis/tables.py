@@ -1,0 +1,65 @@
+"""Plain-text table formatting for experiment reports.
+
+The benchmark harness prints the same rows the paper's tables report; these
+helpers render lists of dictionaries as aligned ASCII tables so the output of
+``pytest benchmarks/`` and the example scripts is directly readable and easy
+to diff against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def _format_value(value: object, float_digits: int = 2) -> str:
+    if isinstance(value, float):
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Sequence[str] | None = None,
+    float_digits: int = 2,
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` (list of dicts) as an aligned ASCII table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered_rows = [
+        [_format_value(row.get(column, ""), float_digits) for column in columns]
+        for row in rows
+    ]
+    widths = [
+        max(len(str(column)), *(len(rendered[i]) for rendered in rendered_rows))
+        for i, column in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(column).ljust(width) for column, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for rendered in rendered_rows:
+        lines.append(
+            " | ".join(value.ljust(width) for value, width in zip(rendered, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_comparison(
+    label: str, paper_value: float, measured_value: float, unit: str = ""
+) -> str:
+    """One-line paper-vs-measured comparison with the relative deviation."""
+    if paper_value != 0:
+        deviation = 100.0 * (measured_value - paper_value) / paper_value
+        deviation_text = f"{deviation:+.1f}%"
+    else:
+        deviation_text = "n/a"
+    unit_suffix = f" {unit}" if unit else ""
+    return (
+        f"{label}: paper {paper_value:.2f}{unit_suffix}, "
+        f"measured {measured_value:.2f}{unit_suffix} ({deviation_text})"
+    )

@@ -1,0 +1,229 @@
+"""Synthetic 3-D scenes rendered to RGB-D frames.
+
+The TUM RGB-D dataset cannot be shipped offline, so the accuracy experiments
+run on synthetic scenes: textured planes rendered by exact ray-plane
+intersection.  Rendering produces a grayscale image plus a dense metric depth
+map from any camera pose, giving the SLAM pipeline photometrically consistent
+frames with perfect ground truth.
+
+Camera convention: x right, y down, z forward (the usual pinhole convention),
+and poses are world-to-camera (:class:`repro.geometry.Pose`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..geometry import PinholeCamera, Pose
+from ..image import GrayImage
+from ..image.synthetic import random_blocks
+
+
+@dataclass(frozen=True)
+class TexturedPlane:
+    """A finite textured rectangle in world space.
+
+    The rectangle is spanned by two orthonormal axes ``axis_u`` and ``axis_v``
+    starting from ``origin``; its size is ``extent_u`` x ``extent_v`` metres.
+    The texture image is mapped across the full extent with nearest-neighbour
+    sampling (matching the blocky textures that give FAST strong corners).
+    """
+
+    origin: np.ndarray
+    axis_u: np.ndarray
+    axis_v: np.ndarray
+    extent_u: float
+    extent_v: float
+    texture: GrayImage
+
+    def __post_init__(self) -> None:
+        origin = np.asarray(self.origin, dtype=np.float64).reshape(3)
+        axis_u = np.asarray(self.axis_u, dtype=np.float64).reshape(3)
+        axis_v = np.asarray(self.axis_v, dtype=np.float64).reshape(3)
+        for name, axis in (("axis_u", axis_u), ("axis_v", axis_v)):
+            norm = np.linalg.norm(axis)
+            if norm < 1e-12:
+                raise DatasetError(f"{name} must be non-zero")
+        axis_u = axis_u / np.linalg.norm(axis_u)
+        axis_v = axis_v / np.linalg.norm(axis_v)
+        if abs(float(axis_u @ axis_v)) > 1e-9:
+            raise DatasetError("plane axes must be orthogonal")
+        if self.extent_u <= 0 or self.extent_v <= 0:
+            raise DatasetError("plane extents must be positive")
+        object.__setattr__(self, "origin", origin)
+        object.__setattr__(self, "axis_u", axis_u)
+        object.__setattr__(self, "axis_v", axis_v)
+
+    @property
+    def normal(self) -> np.ndarray:
+        return np.cross(self.axis_u, self.axis_v)
+
+    def sample_texture(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Nearest-neighbour texture lookup at plane coordinates ``(u, v)`` metres."""
+        tex = self.texture.pixels
+        cols = np.clip(
+            (u / self.extent_u * tex.shape[1]).astype(np.int64), 0, tex.shape[1] - 1
+        )
+        rows = np.clip(
+            (v / self.extent_v * tex.shape[0]).astype(np.int64), 0, tex.shape[0] - 1
+        )
+        return tex[rows, cols]
+
+
+@dataclass(frozen=True)
+class RenderedView:
+    """Output of rendering a scene from one pose."""
+
+    image: GrayImage
+    depth: np.ndarray  # float64 metres, 0 where no surface is hit
+
+    def valid_mask(self) -> np.ndarray:
+        return self.depth > 0
+
+
+class PlanarScene:
+    """A scene made of textured planes, rendered by exact ray-plane intersection."""
+
+    def __init__(self, planes: Sequence[TexturedPlane], background: int = 0) -> None:
+        if not planes:
+            raise DatasetError("scene must contain at least one plane")
+        self.planes: Tuple[TexturedPlane, ...] = tuple(planes)
+        self.background = int(background)
+
+    def render(self, camera: PinholeCamera, pose: Pose) -> RenderedView:
+        """Render the scene from the given world-to-camera ``pose``.
+
+        For every pixel the camera-frame ray ``(x, y, 1)`` is transformed to a
+        world ray; the nearest positive-depth intersection with any plane that
+        falls inside its extent defines the pixel intensity (texture sample)
+        and depth (the ray parameter equals the camera-frame z because the ray
+        direction has unit z in the camera frame).
+        """
+        h, w = camera.height, camera.width
+        us, vs = np.meshgrid(np.arange(w), np.arange(h))
+        pixels = np.stack([us.ravel(), vs.ravel()], axis=1).astype(np.float64)
+        rays_cam = camera.pixel_rays(pixels)  # (N, 3), z == 1
+        cam_to_world = pose.inverse()
+        center = cam_to_world.translation
+        rays_world = rays_cam @ cam_to_world.rotation.T
+
+        best_depth = np.full(rays_world.shape[0], np.inf)
+        intensities = np.full(rays_world.shape[0], self.background, dtype=np.uint8)
+        for plane in self.planes:
+            normal = plane.normal
+            denom = rays_world @ normal
+            numer = float((plane.origin - center) @ normal)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                t = np.where(np.abs(denom) > 1e-12, numer / denom, np.inf)
+            hit = (t > 1e-6) & np.isfinite(t)
+            if not hit.any():
+                continue
+            points = center + rays_world[hit] * t[hit, np.newaxis]
+            rel = points - plane.origin
+            u_coord = rel @ plane.axis_u
+            v_coord = rel @ plane.axis_v
+            inside = (
+                (u_coord >= 0)
+                & (u_coord <= plane.extent_u)
+                & (v_coord >= 0)
+                & (v_coord <= plane.extent_v)
+            )
+            hit_indices = np.nonzero(hit)[0][inside]
+            if hit_indices.size == 0:
+                continue
+            depths = t[hit][inside]
+            closer = depths < best_depth[hit_indices]
+            hit_indices = hit_indices[closer]
+            if hit_indices.size == 0:
+                continue
+            best_depth[hit_indices] = depths[closer]
+            intensities[hit_indices] = plane.sample_texture(
+                u_coord[inside][closer], v_coord[inside][closer]
+            )
+        depth = np.where(np.isfinite(best_depth), best_depth, 0.0).reshape(h, w)
+        image = GrayImage(intensities.reshape(h, w))
+        return RenderedView(image=image, depth=depth)
+
+
+def wall_scene(
+    distance: float = 2.5,
+    width: float = 8.0,
+    height: float = 6.0,
+    block_size: int = 12,
+    texture_pixels: int = 768,
+    seed: int = 11,
+) -> PlanarScene:
+    """A single textured wall facing the camera at ``z = distance``.
+
+    The default extents are generous so translation-only (xyz-style) and
+    small-rotation (rpy-style) trajectories keep texture in view.
+    """
+    texture = random_blocks(texture_pixels, texture_pixels, block=block_size, seed=seed)
+    plane = TexturedPlane(
+        origin=np.array([-width / 2.0, -height / 2.0, distance]),
+        axis_u=np.array([1.0, 0.0, 0.0]),
+        axis_v=np.array([0.0, 1.0, 0.0]),
+        extent_u=width,
+        extent_v=height,
+        texture=texture,
+    )
+    return PlanarScene([plane])
+
+
+def room_scene(
+    half_size: float = 3.0,
+    height: float = 2.4,
+    block_size: int = 12,
+    texture_pixels: int = 640,
+    seed: int = 23,
+) -> PlanarScene:
+    """A box room: four textured walls around the origin plus floor and ceiling.
+
+    Used by the ``room`` and ``desk`` style sequences where the camera
+    rotates enough that a single wall would leave the field of view.
+    """
+    planes: List[TexturedPlane] = []
+    s = half_size
+    top = -height / 2.0
+    wall_specs = [
+        # (origin, axis_u, axis_v, extent_u, extent_v)
+        (np.array([-s, top, s]), np.array([1.0, 0, 0]), np.array([0, 1.0, 0]), 2 * s, height),
+        (np.array([s, top, -s]), np.array([-1.0, 0, 0]), np.array([0, 1.0, 0]), 2 * s, height),
+        (np.array([-s, top, -s]), np.array([0, 0, 1.0]), np.array([0, 1.0, 0]), 2 * s, height),
+        (np.array([s, top, s]), np.array([0, 0, -1.0]), np.array([0, 1.0, 0]), 2 * s, height),
+    ]
+    for index, (origin, axis_u, axis_v, extent_u, extent_v) in enumerate(wall_specs):
+        texture = random_blocks(
+            texture_pixels, texture_pixels, block=block_size, seed=seed + index
+        )
+        planes.append(
+            TexturedPlane(origin, axis_u, axis_v, extent_u, extent_v, texture)
+        )
+    # floor (y = +height/2) and ceiling (y = -height/2)
+    floor_texture = random_blocks(texture_pixels, texture_pixels, block=block_size, seed=seed + 10)
+    ceiling_texture = random_blocks(texture_pixels, texture_pixels, block=block_size, seed=seed + 11)
+    planes.append(
+        TexturedPlane(
+            np.array([-s, height / 2.0, -s]),
+            np.array([1.0, 0, 0]),
+            np.array([0, 0, 1.0]),
+            2 * s,
+            2 * s,
+            floor_texture,
+        )
+    )
+    planes.append(
+        TexturedPlane(
+            np.array([-s, -height / 2.0, -s]),
+            np.array([1.0, 0, 0]),
+            np.array([0, 0, 1.0]),
+            2 * s,
+            2 * s,
+            ceiling_texture,
+        )
+    )
+    return PlanarScene(planes)

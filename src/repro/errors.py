@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised intentionally by the library derive from
+:class:`ReproError` so that callers can catch library failures without
+accidentally swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ImageError(ReproError):
+    """Raised for invalid image shapes, dtypes or out-of-range accesses."""
+
+
+class FeatureError(ReproError):
+    """Raised when feature detection or description receives invalid input."""
+
+
+class DescriptorError(FeatureError):
+    """Raised for malformed descriptors or incompatible descriptor pairs."""
+
+
+class GeometryError(ReproError):
+    """Raised for degenerate geometric configurations (e.g. singular poses)."""
+
+
+class OptimizationError(ReproError):
+    """Raised when an optimiser is configured or invoked incorrectly."""
+
+
+class TrackingError(ReproError):
+    """Raised when the SLAM tracker cannot localise a frame."""
+
+
+class MapError(ReproError):
+    """Raised for invalid map operations (duplicate ids, missing points)."""
+
+
+class DatasetError(ReproError):
+    """Raised for malformed datasets, sequences or trajectory files."""
+
+
+class HardwareModelError(ReproError):
+    """Raised by the FPGA accelerator model for invalid configurations."""
+
+
+class PlatformModelError(ReproError):
+    """Raised by the platform runtime / power models."""

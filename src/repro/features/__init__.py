@@ -1,0 +1,87 @@
+"""Feature substrate: FAST, Harris, NMS, orientation, BRIEF / RS-BRIEF, ORB."""
+
+from .keypoint import Feature, Keypoint
+from .fast import FAST_CIRCLE_OFFSETS, detect_fast_keypoints, fast_corner_mask, is_fast_corner
+from .harris import HARRIS_K, harris_response_map, harris_scores_at
+from .nms import non_maximum_suppression, suppress_keypoints
+from .orientation import (
+    NUM_ORIENTATION_BINS,
+    ORIENTATION_PATCH_RADIUS,
+    compute_orientation,
+    discretize_orientation,
+    intensity_centroid,
+    orientation_angle,
+    orientation_lut_label,
+)
+from .patterns import BriefPattern, RotatedPatternLUT, original_brief_pattern, rotated_pattern
+from .rs_brief import (
+    RsBriefSeed,
+    generate_seed,
+    pattern_symmetry_error,
+    rotate_descriptor_bits,
+    rotate_descriptor_bytes,
+    rs_brief_pattern,
+)
+from .brief import (
+    OriginalOrbDescriptorEngine,
+    RsBriefDescriptorEngine,
+    descriptor_rotation_equivalence_error,
+    evaluate_pattern,
+    make_descriptor_engine,
+    pack_bits,
+    unpack_bits,
+)
+from .heap_filter import BoundedScoreHeap, HeapStatistics, top_k_by_score
+from .orb import (
+    ExtractionProfile,
+    ExtractionResult,
+    OrbExtractor,
+    check_workflow_equivalence,
+    extract_features,
+)
+
+__all__ = [
+    "Feature",
+    "Keypoint",
+    "FAST_CIRCLE_OFFSETS",
+    "fast_corner_mask",
+    "is_fast_corner",
+    "detect_fast_keypoints",
+    "HARRIS_K",
+    "harris_response_map",
+    "harris_scores_at",
+    "non_maximum_suppression",
+    "suppress_keypoints",
+    "NUM_ORIENTATION_BINS",
+    "ORIENTATION_PATCH_RADIUS",
+    "compute_orientation",
+    "discretize_orientation",
+    "intensity_centroid",
+    "orientation_angle",
+    "orientation_lut_label",
+    "BriefPattern",
+    "RotatedPatternLUT",
+    "original_brief_pattern",
+    "rotated_pattern",
+    "RsBriefSeed",
+    "generate_seed",
+    "rs_brief_pattern",
+    "rotate_descriptor_bits",
+    "rotate_descriptor_bytes",
+    "pattern_symmetry_error",
+    "RsBriefDescriptorEngine",
+    "OriginalOrbDescriptorEngine",
+    "make_descriptor_engine",
+    "evaluate_pattern",
+    "pack_bits",
+    "unpack_bits",
+    "descriptor_rotation_equivalence_error",
+    "BoundedScoreHeap",
+    "HeapStatistics",
+    "top_k_by_score",
+    "ExtractionProfile",
+    "ExtractionResult",
+    "OrbExtractor",
+    "extract_features",
+    "check_workflow_equivalence",
+]

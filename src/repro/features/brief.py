@@ -1,0 +1,168 @@
+"""BRIEF descriptor computation.
+
+Given a smoothed image, a keypoint and a test-location pattern, the BRIEF
+descriptor is the 256-bit string whose bit ``i`` is 1 iff the intensity at
+the first location of test ``i`` exceeds the intensity at the second
+location.  Two rotation-handling strategies are provided, matching the two
+designs the paper compares:
+
+* **Original ORB** (:class:`OriginalOrbDescriptorEngine`) -- look up a
+  pre-rotated pattern for the feature's orientation (30 discrete angles) and
+  evaluate the tests with those rotated locations.
+* **RS-BRIEF** (:class:`RsBriefDescriptorEngine`) -- evaluate the tests with
+  the fixed, rotationally symmetric pattern and then circularly shift the
+  resulting descriptor by ``8 * orientation_bin`` bits (the BRIEF Rotator).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from ..config import DescriptorConfig
+from ..errors import DescriptorError, FeatureError
+from ..image import GrayImage
+from .keypoint import Keypoint
+from .orientation import NUM_ORIENTATION_BINS
+from .patterns import BriefPattern, RotatedPatternLUT, original_brief_pattern
+from .rs_brief import rotate_descriptor_bytes, rs_brief_pattern
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack an array of 0/1 bits into bytes, bit ``i`` into byte ``i // 8``."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.ndim != 1 or bits.size % 8 != 0:
+        raise DescriptorError("bit array length must be a positive multiple of 8")
+    return np.packbits(bits, bitorder="little")
+
+
+def unpack_bits(descriptor: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`pack_bits`."""
+    descriptor = np.asarray(descriptor, dtype=np.uint8)
+    if descriptor.ndim != 1:
+        raise DescriptorError("descriptor must be a 1-D byte array")
+    return np.unpackbits(descriptor, bitorder="little")
+
+
+def evaluate_pattern(
+    image: GrayImage, x: int, y: int, pattern: BriefPattern
+) -> np.ndarray:
+    """Evaluate the BRIEF tests of ``pattern`` at keypoint ``(x, y)``.
+
+    Returns the raw bit array (unpacked).  The image is expected to already
+    be smoothed; locations are rounded to the nearest pixel, which is what
+    the fixed-point hardware address generator does.
+    """
+    radius = int(np.ceil(pattern.max_radius()))
+    if not image.contains(x, y, border=radius):
+        raise FeatureError(
+            f"keypoint ({x}, {y}) too close to the border for patch radius {radius}"
+        )
+    s_int, d_int = pattern.rounded()
+    s_vals = image.pixels[y + s_int[:, 1], x + s_int[:, 0]].astype(np.int16)
+    d_vals = image.pixels[y + d_int[:, 1], x + d_int[:, 0]].astype(np.int16)
+    return (s_vals > d_vals).astype(np.uint8)
+
+
+class DescriptorEngine(Protocol):
+    """Common interface of the two descriptor strategies."""
+
+    config: DescriptorConfig
+
+    def describe(self, smoothed: GrayImage, keypoint: Keypoint) -> np.ndarray:
+        """Return the packed descriptor bytes for ``keypoint``."""
+        ...
+
+    def patch_radius(self) -> int:
+        """Return the border margin required around a keypoint."""
+        ...
+
+
+class RsBriefDescriptorEngine:
+    """Descriptor engine using the rotationally symmetric RS-BRIEF pattern."""
+
+    def __init__(self, config: DescriptorConfig | None = None) -> None:
+        self.config = config or DescriptorConfig()
+        self.pattern = rs_brief_pattern(self.config)
+        self._radius = int(np.ceil(self.pattern.max_radius()))
+
+    def patch_radius(self) -> int:
+        return self._radius
+
+    def describe(self, smoothed: GrayImage, keypoint: Keypoint) -> np.ndarray:
+        """Compute the descriptor and rotate it by the keypoint orientation.
+
+        The tests are always evaluated with the unrotated pattern; the
+        orientation is applied as a byte-wise circular shift, exactly what the
+        hardware BRIEF Rotator does.
+        """
+        if keypoint.orientation_bin is None:
+            raise FeatureError("keypoint orientation must be computed before description")
+        bits = evaluate_pattern(smoothed, keypoint.x, keypoint.y, self.pattern)
+        packed = pack_bits(bits)
+        return rotate_descriptor_bytes(packed, keypoint.orientation_bin)
+
+
+class OriginalOrbDescriptorEngine:
+    """Descriptor engine using the original ORB pattern with a 30-angle LUT."""
+
+    def __init__(
+        self,
+        config: DescriptorConfig | None = None,
+        num_lut_angles: int = 30,
+    ) -> None:
+        self.config = config or DescriptorConfig()
+        base = original_brief_pattern(
+            num_bits=self.config.num_bits,
+            patch_radius=self.config.patch_radius,
+            seed=self.config.seed,
+        )
+        self.lut = RotatedPatternLUT(base, num_angles=num_lut_angles)
+        self._radius = int(np.ceil(base.max_radius())) + 1
+
+    def patch_radius(self) -> int:
+        return self._radius
+
+    def describe(self, smoothed: GrayImage, keypoint: Keypoint) -> np.ndarray:
+        """Look up the pre-rotated pattern for the orientation and evaluate it."""
+        if keypoint.orientation_rad is None:
+            raise FeatureError("keypoint orientation must be computed before description")
+        pattern = self.lut.pattern_for_angle(keypoint.orientation_rad)
+        bits = evaluate_pattern(smoothed, keypoint.x, keypoint.y, pattern)
+        return pack_bits(bits)
+
+
+def make_descriptor_engine(
+    use_rs_brief: bool, config: DescriptorConfig | None = None
+) -> DescriptorEngine:
+    """Factory returning the requested descriptor engine."""
+    if use_rs_brief:
+        return RsBriefDescriptorEngine(config)
+    return OriginalOrbDescriptorEngine(config)
+
+
+def descriptor_rotation_equivalence_error(
+    smoothed: GrayImage,
+    keypoint: Keypoint,
+    config: DescriptorConfig | None = None,
+) -> int:
+    """Hamming distance between shift-rotation and true pattern-rotation.
+
+    For RS-BRIEF, computing the descriptor with the seed pattern rotated by
+    the orientation angle should give exactly the same bits as computing it
+    with the unrotated pattern and shifting.  Returns the number of differing
+    bits (0 in the ideal case; tiny values can appear from rounding of
+    rotated locations).  Exposed for validation tests and EXPERIMENTS.md.
+    """
+    from .patterns import rotated_pattern  # local import to avoid cycle at module load
+
+    cfg = config or DescriptorConfig()
+    engine = RsBriefDescriptorEngine(cfg)
+    shifted = engine.describe(smoothed, keypoint)
+    assert keypoint.orientation_bin is not None
+    angle = 2.0 * np.pi * keypoint.orientation_bin / NUM_ORIENTATION_BINS
+    rotated = rotated_pattern(engine.pattern, angle)
+    bits = evaluate_pattern(smoothed, keypoint.x, keypoint.y, rotated)
+    direct = pack_bits(bits)
+    return int(np.unpackbits(shifted ^ direct).sum())

@@ -1,0 +1,83 @@
+"""Harris corner response.
+
+The FAST Detection module computes a Harris score for every detected FAST
+keypoint; the Heap later keeps only the ``N`` best-scoring features.  The
+Harris response of a pixel is
+
+    R = det(M) - k * trace(M)^2
+
+where ``M`` is the second-moment matrix of image gradients accumulated over a
+small window around the pixel.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from ..errors import FeatureError
+from ..image import GrayImage
+from ..image.filters import sobel_gradients
+
+#: Standard Harris sensitivity constant.
+HARRIS_K: float = 0.04
+#: Half-size of the accumulation window (7x7 window -> block_radius = 3),
+#: matching the 7x7 pixel patch the hardware FAST/Harris unit consumes.
+HARRIS_BLOCK_RADIUS: int = 3
+
+
+def harris_response_map(
+    image: GrayImage, k: float = HARRIS_K, block_radius: int = HARRIS_BLOCK_RADIUS
+) -> np.ndarray:
+    """Return the Harris response for every pixel of ``image``.
+
+    The result is a float64 array of the same shape.  Values near the border
+    (within ``block_radius + 1``) are valid but accumulated over a clipped
+    window, exactly like a hardware window that clamps at image edges.
+    """
+    if block_radius < 1:
+        raise FeatureError("block_radius must be >= 1")
+    gx, gy = sobel_gradients(image)
+    ixx = gx * gx
+    iyy = gy * gy
+    ixy = gx * gy
+    window = 2 * block_radius + 1
+    sxx = _box_filter(ixx, window)
+    syy = _box_filter(iyy, window)
+    sxy = _box_filter(ixy, window)
+    det = sxx * syy - sxy * sxy
+    trace = sxx + syy
+    return det - k * trace * trace
+
+
+def _box_filter(values: np.ndarray, window: int) -> np.ndarray:
+    """Sum ``values`` over a ``window x window`` neighbourhood (edge-replicated)."""
+    half = window // 2
+    padded = np.pad(values, half, mode="edge")
+    integral = np.zeros(
+        (padded.shape[0] + 1, padded.shape[1] + 1), dtype=np.float64
+    )
+    integral[1:, 1:] = np.cumsum(np.cumsum(padded, axis=0), axis=1)
+    h, w = values.shape
+    top = integral[:h, :w]
+    bottom = integral[window : window + h, window : window + w]
+    right = integral[:h, window : window + w]
+    left = integral[window : window + h, :w]
+    return bottom - right - left + top
+
+
+def harris_scores_at(
+    image: GrayImage,
+    points: Iterable[tuple[int, int]],
+    k: float = HARRIS_K,
+    block_radius: int = HARRIS_BLOCK_RADIUS,
+) -> List[float]:
+    """Return Harris scores for the given ``(x, y)`` points."""
+    response = harris_response_map(image, k=k, block_radius=block_radius)
+    scores = []
+    for x, y in points:
+        if not image.contains(x, y):
+            raise FeatureError(f"point ({x}, {y}) outside image {image.shape}")
+        scores.append(float(response[y, x]))
+    return scores

@@ -1,0 +1,110 @@
+"""Non-maximum suppression of FAST keypoints.
+
+The NMS module of the ORB Extractor removes FAST keypoints that are too
+close to each other: within any 3x3 pixel patch only the keypoint with the
+maximum Harris score survives.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import FeatureError
+
+
+def non_maximum_suppression(
+    corner_mask: np.ndarray,
+    score_map: np.ndarray,
+    radius: int = 1,
+) -> np.ndarray:
+    """Suppress non-maximal corners within a ``(2*radius+1)``-square window.
+
+    Parameters
+    ----------
+    corner_mask:
+        Boolean map of detected corners.
+    score_map:
+        Harris scores, same shape as ``corner_mask``.
+    radius:
+        Suppression radius; the paper's NMS uses a 3x3 patch (radius 1).
+
+    Returns
+    -------
+    numpy.ndarray
+        Boolean map with only locally-maximal corners set.
+    """
+    if corner_mask.shape != score_map.shape:
+        raise FeatureError("corner mask and score map must have the same shape")
+    if radius < 1:
+        raise FeatureError("radius must be >= 1")
+    masked_scores = np.where(corner_mask, score_map, -np.inf)
+    local_max = masked_scores.copy()
+    for dy in range(-radius, radius + 1):
+        for dx in range(-radius, radius + 1):
+            if dx == 0 and dy == 0:
+                continue
+            shifted = np.full_like(masked_scores, -np.inf)
+            src = masked_scores[
+                max(0, -dy) : masked_scores.shape[0] - max(0, dy),
+                max(0, -dx) : masked_scores.shape[1] - max(0, dx),
+            ]
+            shifted[
+                max(0, dy) : masked_scores.shape[0] - max(0, -dy),
+                max(0, dx) : masked_scores.shape[1] - max(0, -dx),
+            ] = src
+            local_max = np.maximum(local_max, shifted)
+    # A corner survives if its score equals the local maximum.  Ties are
+    # broken in favour of the raster-first pixel by strictly suppressing
+    # later pixels that tie with an earlier one.
+    survivors = corner_mask & (masked_scores >= local_max)
+    return _break_ties_raster_order(survivors, masked_scores, radius)
+
+
+def _break_ties_raster_order(
+    survivors: np.ndarray, scores: np.ndarray, radius: int
+) -> np.ndarray:
+    """Keep only the raster-first corner among equal-score neighbours."""
+    result = survivors.copy()
+    ys, xs = np.nonzero(survivors)
+    order = np.lexsort((xs, ys))  # raster order
+    h, w = survivors.shape
+    for idx in order:
+        y, x = int(ys[idx]), int(xs[idx])
+        if not result[y, x]:
+            continue
+        y0, y1 = max(0, y - radius), min(h, y + radius + 1)
+        x0, x1 = max(0, x - radius), min(w, x + radius + 1)
+        window = result[y0:y1, x0:x1]
+        tie = (scores[y0:y1, x0:x1] == scores[y, x]) & window
+        tie_ys, tie_xs = np.nonzero(tie)
+        for ty, tx in zip(tie_ys + y0, tie_xs + x0):
+            if (ty, tx) != (y, x):
+                result[ty, tx] = False
+    return result
+
+
+def suppress_keypoints(
+    points: Sequence[Tuple[int, int]],
+    scores: Sequence[float],
+    shape: Tuple[int, int],
+    radius: int = 1,
+) -> List[int]:
+    """Sparse-input NMS: return indices of ``points`` that survive suppression.
+
+    Convenience wrapper used when corners are already in list form (e.g. by
+    the hardware model, which streams keypoints rather than full maps).
+    """
+    if len(points) != len(scores):
+        raise FeatureError("points and scores must have the same length")
+    h, w = shape
+    corner_mask = np.zeros((h, w), dtype=bool)
+    score_map = np.full((h, w), -np.inf)
+    for (x, y), score in zip(points, scores):
+        if not (0 <= x < w and 0 <= y < h):
+            raise FeatureError(f"point ({x}, {y}) outside shape {shape}")
+        corner_mask[y, x] = True
+        score_map[y, x] = score
+    keep = non_maximum_suppression(corner_mask, score_map, radius=radius)
+    return [i for i, (x, y) in enumerate(points) if keep[y, x]]

@@ -1,0 +1,246 @@
+"""Software ORB feature extractor.
+
+This is the functional reference for the accelerated ORB Extractor: it runs
+FAST detection, Harris scoring, non-maximum suppression, Gaussian smoothing,
+orientation computation, BRIEF description (RS-BRIEF or original ORB) and
+best-N filtering over a multi-scale image pyramid.
+
+Two workflow orders are supported, matching Section 3.1 of the paper:
+
+* ``original``   -- detect -> filter (keep best N) -> describe.  This is the
+  order of the original ORB implementation; on hardware it forces the
+  descriptor pipeline to idle until filtering completes and requires caching
+  every candidate keypoint's neighbourhood.
+* ``rescheduled`` -- detect -> describe -> filter.  eSLAM's streaming order:
+  descriptors are computed for *all* M detected keypoints as they stream by
+  and the heap keeps the best N at the end.  The extra ``M - N`` descriptor
+  computations are the overhead the paper trades for the eliminated idle
+  time and cache.
+
+Both orders produce the same final feature set whenever the filtering
+criterion depends only on the Harris score (which it does); tests assert
+this equivalence, and :class:`ExtractionProfile` records the operation
+counts (extra descriptors, cached candidates) that differ between them and
+feed the hardware/runtime models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..config import ExtractorConfig
+from ..errors import FeatureError
+from ..image import GrayImage, ImagePyramid, gaussian_blur
+from .brief import DescriptorEngine, make_descriptor_engine
+from .fast import fast_corner_mask
+from .harris import harris_response_map
+from .heap_filter import BoundedScoreHeap
+from .keypoint import Feature, Keypoint
+from .nms import non_maximum_suppression
+from .orientation import compute_orientation
+
+
+@dataclass
+class ExtractionProfile:
+    """Operation counts recorded while extracting features from one image.
+
+    These counts drive the platform runtime models and the hardware cycle
+    model: they are the workload description, independent of how long this
+    Python process happened to take.
+    """
+
+    pixels_processed: int = 0
+    keypoints_detected: int = 0
+    keypoints_after_nms: int = 0
+    descriptors_computed: int = 0
+    features_retained: int = 0
+    heap_comparisons: int = 0
+    per_level_keypoints: List[int] = field(default_factory=list)
+    workflow: str = "rescheduled"
+
+    @property
+    def extra_descriptors(self) -> int:
+        """Descriptors computed beyond the retained set (rescheduling overhead)."""
+        return max(0, self.descriptors_computed - self.features_retained)
+
+
+@dataclass
+class ExtractionResult:
+    """Features extracted from one image plus the associated profile."""
+
+    features: List[Feature]
+    profile: ExtractionProfile
+
+    def descriptor_matrix(self) -> np.ndarray:
+        """Return all descriptors stacked as an ``(N, 32)`` uint8 matrix."""
+        if not self.features:
+            return np.zeros((0, 32), dtype=np.uint8)
+        return np.stack([f.descriptor for f in self.features])
+
+    def keypoint_array(self) -> np.ndarray:
+        """Return level-0 keypoint coordinates as an ``(N, 2)`` float array."""
+        if not self.features:
+            return np.zeros((0, 2), dtype=np.float64)
+        return np.array([[f.x0, f.y0] for f in self.features], dtype=np.float64)
+
+
+class OrbExtractor:
+    """Full software ORB extractor (the functional model of the accelerator).
+
+    Parameters
+    ----------
+    config:
+        Extractor configuration; ``config.use_rs_brief`` selects the
+        descriptor strategy and ``config.rescheduled_workflow`` the workflow
+        order.
+    """
+
+    def __init__(self, config: ExtractorConfig | None = None) -> None:
+        self.config = config or ExtractorConfig()
+        self.descriptor_engine: DescriptorEngine = make_descriptor_engine(
+            self.config.use_rs_brief, self.config.descriptor
+        )
+        self._border = max(
+            self.config.fast.border,
+            self.descriptor_engine.patch_radius() + 1,
+            self.config.descriptor.patch_radius + 1,
+        )
+
+    # -- public API -------------------------------------------------------
+    def extract(self, image: GrayImage) -> ExtractionResult:
+        """Extract up to ``config.max_features`` ORB features from ``image``."""
+        pyramid = ImagePyramid(image, self.config.pyramid)
+        profile = ExtractionProfile(
+            workflow="rescheduled" if self.config.rescheduled_workflow else "original"
+        )
+        profile.pixels_processed = pyramid.total_pixels()
+        if self.config.rescheduled_workflow:
+            features = self._extract_rescheduled(pyramid, profile)
+        else:
+            features = self._extract_original(pyramid, profile)
+        profile.features_retained = len(features)
+        return ExtractionResult(features=features, profile=profile)
+
+    # -- per-level candidate detection --------------------------------------
+    def _detect_level_candidates(
+        self, level_image: GrayImage, level: int, profile: ExtractionProfile
+    ) -> List[Keypoint]:
+        """Run FAST + Harris + NMS on one pyramid level."""
+        corner_mask = fast_corner_mask(level_image, self.config.fast)
+        profile.keypoints_detected += int(corner_mask.sum())
+        if not corner_mask.any():
+            profile.per_level_keypoints.append(0)
+            return []
+        scores = harris_response_map(level_image)
+        survivors = non_maximum_suppression(corner_mask, scores, radius=1)
+        ys, xs = np.nonzero(survivors)
+        keypoints = []
+        for x, y in zip(xs, ys):
+            x, y = int(x), int(y)
+            if not level_image.contains(x, y, border=self._border):
+                continue
+            keypoints.append(Keypoint(x=x, y=y, score=float(scores[y, x]), level=level))
+        profile.keypoints_after_nms += len(keypoints)
+        profile.per_level_keypoints.append(len(keypoints))
+        return keypoints
+
+    def _describe(self, smoothed: GrayImage, keypoint: Keypoint) -> Optional[Feature]:
+        """Compute orientation + descriptor for one keypoint."""
+        radius = self.config.descriptor.patch_radius
+        if not smoothed.contains(keypoint.x, keypoint.y, border=radius):
+            return None
+        orientation_bin, orientation_rad = compute_orientation(
+            smoothed, keypoint.x, keypoint.y, radius=radius
+        )
+        oriented = keypoint.with_orientation(orientation_bin, orientation_rad)
+        descriptor = self.descriptor_engine.describe(smoothed, oriented)
+        scale = self.config.pyramid.level_scale(keypoint.level)
+        x0, y0 = oriented.level0_coordinates(scale)
+        return Feature(keypoint=oriented, descriptor=descriptor, x0=x0, y0=y0)
+
+    # -- the two workflow orders --------------------------------------------
+    def _extract_rescheduled(
+        self, pyramid: ImagePyramid, profile: ExtractionProfile
+    ) -> List[Feature]:
+        """eSLAM order: describe every detected keypoint, then heap-filter."""
+        heap: BoundedScoreHeap[Feature] = BoundedScoreHeap(self.config.max_features)
+        for level in pyramid:
+            smoothed = gaussian_blur(level.image)
+            for keypoint in self._detect_level_candidates(level.image, level.level, profile):
+                feature = self._describe(smoothed, keypoint)
+                if feature is None:
+                    continue
+                profile.descriptors_computed += 1
+                heap.offer(feature.score, feature)
+        profile.heap_comparisons = heap.stats.comparisons
+        return heap.items_by_score()
+
+    def _extract_original(
+        self, pyramid: ImagePyramid, profile: ExtractionProfile
+    ) -> List[Feature]:
+        """Original order: collect all keypoints, filter to best N, then describe."""
+        candidates: List[tuple[Keypoint, GrayImage]] = []
+        for level in pyramid:
+            smoothed = gaussian_blur(level.image)
+            for keypoint in self._detect_level_candidates(level.image, level.level, profile):
+                candidates.append((keypoint, smoothed))
+        candidates.sort(key=lambda item: -item[0].score)
+        retained = candidates[: self.config.max_features]
+        features: List[Feature] = []
+        for keypoint, smoothed in retained:
+            feature = self._describe(smoothed, keypoint)
+            if feature is None:
+                continue
+            profile.descriptors_computed += 1
+            features.append(feature)
+        features.sort(key=lambda f: -f.score)
+        return features
+
+
+def extract_features(image: GrayImage, config: ExtractorConfig | None = None) -> ExtractionResult:
+    """Convenience one-shot feature extraction with a fresh extractor."""
+    return OrbExtractor(config).extract(image)
+
+
+def check_workflow_equivalence(
+    image: GrayImage, config: ExtractorConfig | None = None
+) -> int:
+    """Return how many retained keypoint positions differ between workflows.
+
+    The rescheduled and original workflows must retain the same keypoints
+    (filtering depends only on Harris scores).  Descriptor values are
+    identical as well because description is a pure function of (image,
+    keypoint).  Returns the size of the symmetric difference of the retained
+    ``(level, x, y)`` sets; 0 means the workflows agree exactly.
+    """
+    cfg = config or ExtractorConfig()
+    rescheduled = OrbExtractor(
+        ExtractorConfig(
+            image_width=cfg.image_width,
+            image_height=cfg.image_height,
+            pyramid=cfg.pyramid,
+            fast=cfg.fast,
+            descriptor=cfg.descriptor,
+            max_features=cfg.max_features,
+            use_rs_brief=cfg.use_rs_brief,
+            rescheduled_workflow=True,
+        )
+    ).extract(image)
+    original = OrbExtractor(
+        ExtractorConfig(
+            image_width=cfg.image_width,
+            image_height=cfg.image_height,
+            pyramid=cfg.pyramid,
+            fast=cfg.fast,
+            descriptor=cfg.descriptor,
+            max_features=cfg.max_features,
+            use_rs_brief=cfg.use_rs_brief,
+            rescheduled_workflow=False,
+        )
+    ).extract(image)
+    keys_a = {(f.keypoint.level, f.keypoint.x, f.keypoint.y) for f in rescheduled.features}
+    keys_b = {(f.keypoint.level, f.keypoint.x, f.keypoint.y) for f in original.features}
+    return len(keys_a.symmetric_difference(keys_b))

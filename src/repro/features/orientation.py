@@ -1,0 +1,126 @@
+"""Feature orientation by the intensity-centroid method.
+
+The orientation of a keypoint is the direction of the vector from the patch
+centre to the intensity centroid of a circular patch around the keypoint
+(equation (3) in the paper).  eSLAM discretises the orientation into 32 bins
+of 11.25 degrees, matching the 32-fold symmetry of the RS-BRIEF pattern, so
+that rotating the descriptor reduces to a circular shift by ``8 * bin`` bits.
+
+The hardware Orientation Computing module avoids a full ``atan2`` by using a
+lookup table on ``v/u`` together with the signs of ``u`` and ``v``; the
+functionally equivalent :func:`discretize_orientation` is used both here and
+by the hardware model.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import FeatureError
+from ..image import GrayImage, circular_mask
+
+#: Default radius of the circular patch used for the centroid (the paper's
+#: descriptor tests live in a radius-15 patch).
+ORIENTATION_PATCH_RADIUS: int = 15
+#: Number of discrete orientation bins (32-fold RS-BRIEF symmetry).
+NUM_ORIENTATION_BINS: int = 32
+#: Width of one orientation bin in radians (11.25 degrees).
+ORIENTATION_BIN_RAD: float = 2.0 * math.pi / NUM_ORIENTATION_BINS
+
+
+def intensity_centroid(patch: np.ndarray, mask: np.ndarray | None = None) -> Tuple[float, float]:
+    """Return the ``(u, v)`` intensity centroid offsets of a square patch.
+
+    ``u`` is the x-offset and ``v`` the y-offset of the centroid from the
+    patch centre, weighted by pixel intensity (equation (3)).  A circular
+    mask restricted to the inscribed circle is applied by default.
+    """
+    patch = np.asarray(patch, dtype=np.float64)
+    if patch.ndim != 2 or patch.shape[0] != patch.shape[1] or patch.shape[0] % 2 == 0:
+        raise FeatureError("patch must be a square array with odd side length")
+    radius = patch.shape[0] // 2
+    if mask is None:
+        mask = circular_mask(radius)
+    if mask.shape != patch.shape:
+        raise FeatureError("mask shape must match patch shape")
+    coords = np.arange(-radius, radius + 1, dtype=np.float64)
+    yy, xx = np.meshgrid(coords, coords, indexing="ij")
+    weights = patch * mask
+    total = weights.sum()
+    if total <= 0:
+        return 0.0, 0.0
+    u = float((weights * xx).sum() / total)
+    v = float((weights * yy).sum() / total)
+    return u, v
+
+
+def orientation_angle(u: float, v: float) -> float:
+    """Return the orientation angle in ``[0, 2*pi)`` from centroid offsets."""
+    angle = math.atan2(v, u)
+    if angle < 0:
+        angle += 2.0 * math.pi
+    return angle
+
+
+def discretize_orientation(angle_rad: float, num_bins: int = NUM_ORIENTATION_BINS) -> int:
+    """Map a continuous angle to the nearest discrete orientation bin.
+
+    Bin ``n`` represents ``n * (360 / num_bins)`` degrees; angles are rounded
+    to the nearest bin centre so the maximum discretisation error is half a
+    bin (5.625 degrees for 32 bins).
+    """
+    if num_bins <= 0:
+        raise FeatureError("num_bins must be positive")
+    two_pi = 2.0 * math.pi
+    angle = angle_rad % two_pi
+    return int(round(angle / (two_pi / num_bins))) % num_bins
+
+
+def orientation_lut_label(u: float, v: float, num_bins: int = NUM_ORIENTATION_BINS) -> int:
+    """Hardware-style orientation lookup from ``v/u`` plus sign bits.
+
+    The FPGA module determines the bin from the ratio ``v/u`` and the signs
+    of ``u`` and ``v`` without evaluating ``atan2``.  Functionally this is
+    identical to :func:`discretize_orientation` applied to ``atan2(v, u)``;
+    we implement it by comparing ``|v/u|`` against pre-computed tangent
+    thresholds, which is exactly the comparison tree a LUT realises.
+    """
+    if u == 0.0 and v == 0.0:
+        return 0
+    if u == 0.0:
+        quarter = num_bins // 4
+        return quarter if v > 0 else 3 * quarter
+    bin_width = 2.0 * math.pi / num_bins
+    ratio = abs(v / u)
+    # thresholds are the tangents of the bin boundaries in the first quadrant
+    base_angle = math.atan(ratio)
+    if u > 0 and v >= 0:
+        angle = base_angle
+    elif u < 0 and v >= 0:
+        angle = math.pi - base_angle
+    elif u < 0 and v < 0:
+        angle = math.pi + base_angle
+    else:
+        angle = 2.0 * math.pi - base_angle
+    return int(round(angle / bin_width)) % num_bins
+
+
+def compute_orientation(
+    image: GrayImage,
+    x: int,
+    y: int,
+    radius: int = ORIENTATION_PATCH_RADIUS,
+    num_bins: int = NUM_ORIENTATION_BINS,
+) -> Tuple[int, float]:
+    """Compute the orientation (bin, radians) of the keypoint at ``(x, y)``.
+
+    Raises :class:`FeatureError` if the circular patch does not fit inside
+    the image.
+    """
+    patch = image.patch(x, y, radius)
+    u, v = intensity_centroid(patch)
+    angle = orientation_angle(u, v)
+    return discretize_orientation(angle, num_bins), angle

@@ -1,0 +1,52 @@
+"""Geometry substrate: SE(3), camera models, PnP, RANSAC, triangulation."""
+
+from .se3 import (
+    Pose,
+    hat,
+    interpolate_pose,
+    quaternion_from_rotation,
+    rotation_from_euler,
+    rotation_from_quaternion,
+    se3_exp,
+    se3_log,
+    so3_exp,
+    so3_log,
+    vee,
+)
+from .camera import PinholeCamera
+from .pnp import IterativePnpSolver, PnpResult, estimate_pose_3d3d, solve_pnp
+from .ransac import PnpRansac, RansacConfig, RansacResult, adaptive_iterations, ransac_generic
+from .triangulation import (
+    projection_matrix,
+    reprojection_error,
+    triangulate_dlt,
+    triangulate_midpoint,
+)
+
+__all__ = [
+    "Pose",
+    "hat",
+    "vee",
+    "so3_exp",
+    "so3_log",
+    "se3_exp",
+    "se3_log",
+    "rotation_from_euler",
+    "quaternion_from_rotation",
+    "rotation_from_quaternion",
+    "interpolate_pose",
+    "PinholeCamera",
+    "IterativePnpSolver",
+    "PnpResult",
+    "estimate_pose_3d3d",
+    "solve_pnp",
+    "PnpRansac",
+    "RansacConfig",
+    "RansacResult",
+    "adaptive_iterations",
+    "ransac_generic",
+    "projection_matrix",
+    "reprojection_error",
+    "triangulate_dlt",
+    "triangulate_midpoint",
+]

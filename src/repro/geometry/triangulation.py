@@ -1,0 +1,89 @@
+"""Two-view triangulation.
+
+The RGB-D pipeline of eSLAM gets depth directly from the sensor, but a
+triangulation routine is still useful for validating map points, for tests of
+the geometry stack and for running the system in a stereo-less ablation.  The
+standard linear (DLT) triangulation with SVD is provided, plus a midpoint
+method used as a cross-check in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GeometryError
+from .camera import PinholeCamera
+from .se3 import Pose
+
+
+def projection_matrix(camera: PinholeCamera, pose: Pose) -> np.ndarray:
+    """Return the 3x4 projection matrix ``K [R | t]`` of a posed camera."""
+    rt = np.hstack([pose.rotation, pose.translation.reshape(3, 1)])
+    return camera.intrinsic_matrix() @ rt
+
+
+def triangulate_dlt(
+    camera: PinholeCamera,
+    pose_a: Pose,
+    pose_b: Pose,
+    pixel_a: np.ndarray,
+    pixel_b: np.ndarray,
+) -> np.ndarray:
+    """Linear triangulation of one point observed in two posed views.
+
+    Returns the world-frame 3-D point.  Raises :class:`GeometryError` when the
+    views are degenerate (parallel rays / identical poses).
+    """
+    p_a = projection_matrix(camera, pose_a)
+    p_b = projection_matrix(camera, pose_b)
+    u_a, v_a = float(pixel_a[0]), float(pixel_a[1])
+    u_b, v_b = float(pixel_b[0]), float(pixel_b[1])
+    system = np.stack(
+        [
+            u_a * p_a[2] - p_a[0],
+            v_a * p_a[2] - p_a[1],
+            u_b * p_b[2] - p_b[0],
+            v_b * p_b[2] - p_b[1],
+        ]
+    )
+    _, singular_values, vt = np.linalg.svd(system)
+    if singular_values[-2] < 1e-12:
+        raise GeometryError("degenerate triangulation configuration")
+    homogeneous = vt[-1]
+    if abs(homogeneous[3]) < 1e-12:
+        raise GeometryError("triangulated point at infinity")
+    return homogeneous[:3] / homogeneous[3]
+
+
+def triangulate_midpoint(
+    camera: PinholeCamera,
+    pose_a: Pose,
+    pose_b: Pose,
+    pixel_a: np.ndarray,
+    pixel_b: np.ndarray,
+) -> np.ndarray:
+    """Midpoint triangulation: closest point between the two viewing rays."""
+    center_a = pose_a.camera_center()
+    center_b = pose_b.camera_center()
+    ray_a = pose_a.rotation.T @ camera.pixel_rays(np.asarray(pixel_a, dtype=np.float64))[0]
+    ray_b = pose_b.rotation.T @ camera.pixel_rays(np.asarray(pixel_b, dtype=np.float64))[0]
+    ray_a = ray_a / np.linalg.norm(ray_a)
+    ray_b = ray_b / np.linalg.norm(ray_b)
+    cross = np.cross(ray_a, ray_b)
+    denom = float(cross @ cross)
+    if denom < 1e-12:
+        raise GeometryError("parallel rays cannot be triangulated")
+    delta = center_b - center_a
+    t_a = float(np.cross(delta, ray_b) @ cross) / denom
+    t_b = float(np.cross(delta, ray_a) @ cross) / denom
+    point_a = center_a + t_a * ray_a
+    point_b = center_b + t_b * ray_b
+    return (point_a + point_b) / 2.0
+
+
+def reprojection_error(
+    camera: PinholeCamera, pose: Pose, point_world: np.ndarray, pixel: np.ndarray
+) -> float:
+    """Euclidean pixel error of projecting ``point_world`` into the posed view."""
+    projected, _ = camera.project_world_point(point_world, pose)
+    return float(np.linalg.norm(projected - np.asarray(pixel, dtype=np.float64)))

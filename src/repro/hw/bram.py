@@ -1,0 +1,59 @@
+"""On-chip memory (BRAM) sizing helpers.
+
+The caches of the ORB Extractor (Image Cache, Score Cache, Smoothened Image
+Cache), the heap storage and the matcher's descriptor/result caches all map
+to block RAM.  These helpers convert logical buffer dimensions into BRAM36
+block counts so the resource report (Table 1) can be assembled from module
+parameters instead of magic numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import HardwareModelError
+
+#: Usable bits in one Xilinx BRAM36 block (36 Kbit).
+BRAM36_BITS: int = 36 * 1024
+
+
+@dataclass(frozen=True)
+class BramRequirement:
+    """On-chip buffer described by depth (words) and word width (bits)."""
+
+    name: str
+    depth: int
+    width_bits: int
+    copies: int = 1
+
+    def __post_init__(self) -> None:
+        if self.depth <= 0 or self.width_bits <= 0 or self.copies <= 0:
+            raise HardwareModelError("BRAM requirement dimensions must be positive")
+
+    @property
+    def total_bits(self) -> int:
+        return self.depth * self.width_bits * self.copies
+
+    def bram36_blocks(self) -> int:
+        """Number of BRAM36 blocks needed (with width-aware packing).
+
+        A BRAM36 provides 1K x 36, 2K x 18, 4K x 9 ... aspect ratios; the
+        estimate packs the requested width into 36-bit wide slices and the
+        depth into 1K-deep slices, which matches how synthesis tools map
+        simple dual-port buffers.
+        """
+        width_slices = (self.width_bits + 35) // 36
+        depth_slices = (self.depth + 1023) // 1024
+        return width_slices * depth_slices * self.copies
+
+
+def line_buffer_requirement(
+    name: str, rows: int, row_bytes: int, copies: int = 1
+) -> BramRequirement:
+    """BRAM requirement of a line buffer of ``rows`` lines x ``row_bytes`` bytes."""
+    return BramRequirement(name=name, depth=rows, width_bits=row_bytes * 8, copies=copies)
+
+
+def total_bram36(requirements: list[BramRequirement]) -> int:
+    """Sum the BRAM36 blocks over a list of requirements."""
+    return sum(requirement.bram36_blocks() for requirement in requirements)

@@ -1,0 +1,20 @@
+"""BRIEF Matcher accelerator: distance computation, comparator and caches."""
+
+from .units import (
+    ComparatorUnit,
+    DescriptorCacheUnit,
+    DistanceComputingUnit,
+    MatchRecord,
+    ResultCacheUnit,
+)
+from .matcher_accel import BriefMatcherAccelerator, MatcherLatencyReport
+
+__all__ = [
+    "DistanceComputingUnit",
+    "ComparatorUnit",
+    "DescriptorCacheUnit",
+    "ResultCacheUnit",
+    "MatchRecord",
+    "BriefMatcherAccelerator",
+    "MatcherLatencyReport",
+]

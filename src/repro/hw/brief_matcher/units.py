@@ -1,0 +1,158 @@
+"""Datapath units of the BRIEF Matcher (Figure 6).
+
+The matcher compares every current-frame descriptor against every global-map
+descriptor: the Distance Computing module XORs two 256-bit descriptors and
+popcounts the result with an adder tree, and the Comparator tracks the
+running minimum distance and its index.  The Descriptor Cache and Result
+Cache buffer inputs/outputs between AXI transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ...errors import HardwareModelError
+from ...matching.hamming import hamming_distance
+from .. import bram
+
+
+class DistanceComputingUnit:
+    """256-bit XOR + popcount adder tree.
+
+    One descriptor pair per cycle per lane; ``lanes`` parallel trees process
+    several map descriptors simultaneously (the parallelisation knob of the
+    accelerator configuration).
+    """
+
+    def __init__(self, descriptor_bytes: int = 32, lanes: int = 4) -> None:
+        if descriptor_bytes <= 0 or lanes <= 0:
+            raise HardwareModelError("descriptor_bytes and lanes must be positive")
+        self.descriptor_bytes = descriptor_bytes
+        self.lanes = lanes
+        self.pairs_evaluated = 0
+
+    def distance(self, descriptor_a: np.ndarray, descriptor_b: np.ndarray) -> int:
+        """Hamming distance of one descriptor pair (functional reference)."""
+        a = np.asarray(descriptor_a, dtype=np.uint8)
+        b = np.asarray(descriptor_b, dtype=np.uint8)
+        if a.size != self.descriptor_bytes or b.size != self.descriptor_bytes:
+            raise HardwareModelError(
+                f"descriptors must be {self.descriptor_bytes} bytes"
+            )
+        self.pairs_evaluated += 1
+        return hamming_distance(a, b)
+
+    def cycles_for(self, num_queries: int, num_candidates: int) -> float:
+        """Total cycles to evaluate the full distance matrix."""
+        if num_queries < 0 or num_candidates < 0:
+            raise HardwareModelError("counts must be non-negative")
+        return float(num_queries) * float(num_candidates) / self.lanes
+
+    def adder_tree_depth(self) -> int:
+        """Pipeline depth of the popcount adder tree (log2 of bit count)."""
+        return int(np.ceil(np.log2(self.descriptor_bytes * 8)))
+
+
+@dataclass
+class MatchRecord:
+    """Best-match output of the comparator for one query descriptor."""
+
+    query_index: int
+    best_index: int
+    best_distance: int
+
+
+class ComparatorUnit:
+    """Running-minimum search over the streamed Hamming distances."""
+
+    def __init__(self) -> None:
+        self.comparisons = 0
+
+    def find_minimum(self, distances: np.ndarray, query_index: int) -> MatchRecord:
+        """Return the minimum distance and its index for one query row."""
+        values = np.asarray(distances)
+        if values.ndim != 1 or values.size == 0:
+            raise HardwareModelError("distance row must be a non-empty 1-D array")
+        self.comparisons += values.size
+        best_index = int(np.argmin(values))
+        return MatchRecord(
+            query_index=query_index,
+            best_index=best_index,
+            best_distance=int(values[best_index]),
+        )
+
+
+class DescriptorCacheUnit:
+    """On-chip buffer for current-frame and global-map descriptors."""
+
+    def __init__(self, frame_capacity: int = 1024, map_capacity: int = 8192) -> None:
+        if frame_capacity <= 0 or map_capacity <= 0:
+            raise HardwareModelError("cache capacities must be positive")
+        self.frame_capacity = frame_capacity
+        self.map_capacity = map_capacity
+        self._frame_descriptors: Optional[np.ndarray] = None
+        self._map_descriptors: Optional[np.ndarray] = None
+
+    def load_frame_descriptors(self, descriptors: np.ndarray) -> None:
+        descriptors = np.asarray(descriptors, dtype=np.uint8)
+        if descriptors.shape[0] > self.frame_capacity:
+            raise HardwareModelError(
+                f"{descriptors.shape[0]} frame descriptors exceed capacity {self.frame_capacity}"
+            )
+        self._frame_descriptors = descriptors
+
+    def load_map_descriptors(self, descriptors: np.ndarray) -> None:
+        descriptors = np.asarray(descriptors, dtype=np.uint8)
+        if descriptors.shape[0] > self.map_capacity:
+            raise HardwareModelError(
+                f"{descriptors.shape[0]} map descriptors exceed capacity {self.map_capacity}"
+            )
+        self._map_descriptors = descriptors
+
+    @property
+    def frame_descriptors(self) -> np.ndarray:
+        if self._frame_descriptors is None:
+            raise HardwareModelError("frame descriptors have not been loaded")
+        return self._frame_descriptors
+
+    @property
+    def map_descriptors(self) -> np.ndarray:
+        if self._map_descriptors is None:
+            raise HardwareModelError("map descriptors have not been loaded")
+        return self._map_descriptors
+
+    def bram_requirements(self, descriptor_bytes: int = 32) -> List[bram.BramRequirement]:
+        return [
+            bram.BramRequirement(
+                "matcher.frame_descriptors", self.frame_capacity, descriptor_bytes * 8
+            ),
+            bram.BramRequirement(
+                "matcher.map_descriptors", self.map_capacity, descriptor_bytes * 8
+            ),
+        ]
+
+
+class ResultCacheUnit:
+    """Buffer of match results awaiting write-back to SDRAM."""
+
+    RESULT_RECORD_BYTES: int = 8  # query index, best index, distance
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity <= 0:
+            raise HardwareModelError("capacity must be positive")
+        self.capacity = capacity
+        self.records: List[MatchRecord] = []
+
+    def store(self, record: MatchRecord) -> None:
+        if len(self.records) >= self.capacity:
+            raise HardwareModelError("result cache overflow")
+        self.records.append(record)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def writeback_bytes(self) -> int:
+        return len(self.records) * self.RESULT_RECORD_BYTES

@@ -1,0 +1,326 @@
+"""Datapath units of the ORB Extractor (Figure 4).
+
+Each class models one hardware block: its *functional* behaviour operates on
+the same data the software pipeline uses (so outputs can be cross-checked
+bit-for-bit against :mod:`repro.features`), and its *cycle cost* follows the
+streaming schedule of Section 3.1.  Resource estimates for Table 1 are
+derived from the same parameters in :mod:`repro.hw.resources`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...config import DescriptorConfig, FastConfig
+from ...errors import HardwareModelError
+from ...features.fast import FAST_CIRCLE_OFFSETS
+from ...features.harris import HARRIS_K
+from ...features.heap_filter import BoundedScoreHeap
+from ...features.orientation import NUM_ORIENTATION_BINS, intensity_centroid, orientation_lut_label
+from ...features.rs_brief import rotate_descriptor_bytes, rs_brief_pattern
+from ...image.filters import gaussian_kernel_2d
+from ..cycles import CycleBreakdown
+from ..fixed_point import ORIENTATION_RATIO_FORMAT
+
+
+# ---------------------------------------------------------------------------
+# FAST detection + Harris scoring
+# ---------------------------------------------------------------------------
+class FastDetectionUnit:
+    """Window-based FAST segment test with Harris scoring.
+
+    The hardware evaluates one 7x7 window per clock cycle: the 16 circle
+    comparisons, the contiguous-arc check and the Harris response all fit in
+    a fully unrolled combinational pipeline.  The functional model therefore
+    exposes :meth:`evaluate_window` operating on a single 7x7 patch, and the
+    cycle cost of processing an image is simply one cycle per interior pixel
+    (accounted by the integrated extractor, not here).
+    """
+
+    def __init__(self, config: FastConfig | None = None) -> None:
+        self.config = config or FastConfig()
+        self.windows_evaluated = 0
+
+    def evaluate_window(self, window: np.ndarray) -> Tuple[bool, float]:
+        """Return ``(is_corner, harris_score)`` for one 7x7 pixel window."""
+        window = np.asarray(window, dtype=np.int64)
+        if window.shape != (7, 7):
+            raise HardwareModelError("FAST window must be 7x7")
+        self.windows_evaluated += 1
+        center = int(window[3, 3])
+        ring = [int(window[3 + dy, 3 + dx]) for dx, dy in FAST_CIRCLE_OFFSETS]
+        is_corner = self._segment_test(center, ring)
+        score = self._harris_score(window) if is_corner else 0.0
+        return is_corner, score
+
+    def _segment_test(self, center: int, ring: Sequence[int]) -> bool:
+        threshold = self.config.threshold
+        arc = self.config.arc_length
+        brighter = [value > center + threshold for value in ring]
+        darker = [value < center - threshold for value in ring]
+        for flags in (brighter, darker):
+            doubled = list(flags) + list(flags[: arc - 1])
+            run = 0
+            for flag in doubled:
+                run = run + 1 if flag else 0
+                if run >= arc:
+                    return True
+        return False
+
+    def _harris_score(self, window: np.ndarray) -> float:
+        """Harris response from gradients accumulated over the 7x7 window."""
+        patch = window.astype(np.float64)
+        gx = np.zeros_like(patch)
+        gy = np.zeros_like(patch)
+        gx[:, 1:-1] = (patch[:, 2:] - patch[:, :-2]) / 2.0
+        gy[1:-1, :] = (patch[2:, :] - patch[:-2, :]) / 2.0
+        sxx = float((gx * gx).sum())
+        syy = float((gy * gy).sum())
+        sxy = float((gx * gy).sum())
+        det = sxx * syy - sxy * sxy
+        trace = sxx + syy
+        return det - HARRIS_K * trace * trace
+
+
+# ---------------------------------------------------------------------------
+# Gaussian image smoother
+# ---------------------------------------------------------------------------
+class ImageSmootherUnit:
+    """7x7 Gaussian blur evaluated as a windowed multiply-accumulate.
+
+    The kernel weights are quantised to 8-bit fixed point, which is how an
+    FPGA DSP-based smoother would store them; tests check the quantised
+    output deviates from the floating-point reference by at most 1 intensity
+    level.
+    """
+
+    def __init__(self, size: int = 7, sigma: float = 2.0, weight_bits: int = 8) -> None:
+        if weight_bits <= 0:
+            raise HardwareModelError("weight_bits must be positive")
+        kernel = gaussian_kernel_2d(size, sigma)
+        scale = 2**weight_bits
+        quantized = np.rint(kernel * scale).astype(np.int64)
+        # keep the kernel normalised after quantisation by adjusting the centre
+        deficit = scale - int(quantized.sum())
+        quantized[size // 2, size // 2] += deficit
+        self.size = size
+        self.weight_bits = weight_bits
+        self.kernel_fixed = quantized
+        self.windows_processed = 0
+
+    def smooth_window(self, window: np.ndarray) -> int:
+        """Return the smoothed centre pixel of one ``size x size`` window."""
+        window = np.asarray(window, dtype=np.int64)
+        if window.shape != (self.size, self.size):
+            raise HardwareModelError(f"smoother window must be {self.size}x{self.size}")
+        self.windows_processed += 1
+        accumulator = int((window * self.kernel_fixed).sum())
+        return int(np.clip(accumulator >> self.weight_bits, 0, 255))
+
+    def multipliers_required(self) -> int:
+        """Number of multiply units in a fully unrolled implementation."""
+        return self.size * self.size
+
+
+# ---------------------------------------------------------------------------
+# Non-maximum suppression
+# ---------------------------------------------------------------------------
+class NmsUnit:
+    """Streaming 3x3 non-maximum suppression on Harris scores.
+
+    Functionally identical to :func:`repro.features.nms.non_maximum_suppression`
+    restricted to a 3x3 window; the hardware keeps a 3-row score buffer and
+    emits a keypoint only if its score is the strict maximum of the
+    neighbourhood (ties resolved in raster order by construction).
+    """
+
+    def __init__(self) -> None:
+        self.windows_evaluated = 0
+
+    def is_local_maximum(self, score_window: np.ndarray) -> bool:
+        """Return True if the centre of a 3x3 score window is the maximum."""
+        window = np.asarray(score_window, dtype=np.float64)
+        if window.shape != (3, 3):
+            raise HardwareModelError("NMS window must be 3x3")
+        self.windows_evaluated += 1
+        center = window[1, 1]
+        if center <= 0:
+            return False
+        neighbours = window.copy()
+        neighbours[1, 1] = -np.inf
+        # strictly greater than earlier (raster-order) neighbours, greater or
+        # equal to later ones, mirrors the streaming tie-break
+        earlier = [window[0, 0], window[0, 1], window[0, 2], window[1, 0]]
+        later = [window[1, 2], window[2, 0], window[2, 1], window[2, 2]]
+        return all(center > value for value in earlier) and all(
+            center >= value for value in later
+        )
+
+
+# ---------------------------------------------------------------------------
+# Orientation computing
+# ---------------------------------------------------------------------------
+class OrientationUnit:
+    """Intensity-centroid orientation with the hardware LUT discretisation.
+
+    The unit accumulates ``sum(I*x)``, ``sum(I*y)`` and ``sum(I)`` over the
+    circular patch, forms the fixed-point ratio ``v/u`` and looks the 32-way
+    orientation label up from the ratio and the sign bits -- no ``atan2`` in
+    hardware.  The functional model reuses the software centroid and LUT
+    label computation, quantising the ratio to the datapath's fixed-point
+    format to capture the (tiny) numeric difference from pure software.
+    """
+
+    def __init__(self, num_bins: int = NUM_ORIENTATION_BINS) -> None:
+        self.num_bins = num_bins
+        self.patches_processed = 0
+
+    def orientation_bin(self, patch: np.ndarray) -> int:
+        """Return the discretised orientation label of a circular patch."""
+        self.patches_processed += 1
+        u, v = intensity_centroid(np.asarray(patch, dtype=np.float64))
+        if abs(u) < 1e-12 and abs(v) < 1e-12:
+            return 0
+        if abs(u) > 1e-12:
+            ratio = float(ORIENTATION_RATIO_FORMAT.quantize(v / u))
+            v_quantized = ratio * u
+        else:
+            v_quantized = v
+        return orientation_lut_label(u, v_quantized, self.num_bins)
+
+    def cycles_per_feature(self, patch_diameter: int = 31, lanes: int = 31) -> float:
+        """Accumulation cycles per feature: one row of the patch per cycle."""
+        if lanes <= 0:
+            raise HardwareModelError("lanes must be positive")
+        return float(patch_diameter * patch_diameter / lanes) + 2.0  # +divide/LUT
+
+
+# ---------------------------------------------------------------------------
+# BRIEF computing + rotator
+# ---------------------------------------------------------------------------
+class BriefComputingUnit:
+    """Evaluates the 256 RS-BRIEF tests for one feature.
+
+    The RS-BRIEF test locations are fixed, so the hardware reads the required
+    pixels from the Smoothened Image Cache and performs 256 comparisons.
+    With ``comparators_per_cycle`` parallel comparators the unit needs
+    ``256 / comparators_per_cycle`` cycles per feature, which is the figure
+    the integrated cycle model uses.
+    """
+
+    def __init__(
+        self,
+        config: DescriptorConfig | None = None,
+        comparators_per_cycle: int = 32,
+    ) -> None:
+        if comparators_per_cycle <= 0:
+            raise HardwareModelError("comparators_per_cycle must be positive")
+        self.config = config or DescriptorConfig()
+        self.comparators_per_cycle = comparators_per_cycle
+        self.pattern = rs_brief_pattern(self.config)
+        self._s_int, self._d_int = self.pattern.rounded()
+        self.features_described = 0
+
+    def describe(self, smoothed_patch: np.ndarray) -> np.ndarray:
+        """Compute the unrotated descriptor from a smoothed square patch.
+
+        The patch must be centred on the feature and large enough to contain
+        the pattern (side ``2 * patch_radius + 1``).
+        """
+        patch = np.asarray(smoothed_patch, dtype=np.int64)
+        radius = patch.shape[0] // 2
+        if patch.shape[0] != patch.shape[1] or patch.shape[0] % 2 == 0:
+            raise HardwareModelError("descriptor patch must be square with odd side")
+        max_offset = int(np.abs(np.concatenate([self._s_int, self._d_int])).max())
+        if radius < max_offset:
+            raise HardwareModelError(
+                f"patch radius {radius} too small for pattern radius {max_offset}"
+            )
+        self.features_described += 1
+        s_vals = patch[radius + self._s_int[:, 1], radius + self._s_int[:, 0]]
+        d_vals = patch[radius + self._d_int[:, 1], radius + self._d_int[:, 0]]
+        bits = (s_vals > d_vals).astype(np.uint8)
+        return np.packbits(bits, bitorder="little")
+
+    def cycles_per_feature(self) -> float:
+        return float(self.config.num_bits / self.comparators_per_cycle)
+
+
+class BriefRotatorUnit:
+    """Barrel shifter applying the feature orientation to the descriptor.
+
+    For orientation label ``n`` the first ``8 * n`` bits move from the start
+    of the descriptor to the end.  With 8 seed pairs this is a whole-byte
+    rotation, implemented here exactly as in the software path so the two
+    stay bit-identical.  One descriptor rotates per cycle.
+    """
+
+    def __init__(self) -> None:
+        self.descriptors_rotated = 0
+
+    def rotate(self, descriptor: np.ndarray, orientation_bin: int) -> np.ndarray:
+        if not 0 <= orientation_bin < NUM_ORIENTATION_BINS:
+            raise HardwareModelError(
+                f"orientation bin {orientation_bin} outside [0, {NUM_ORIENTATION_BINS})"
+            )
+        self.descriptors_rotated += 1
+        return rotate_descriptor_bytes(np.asarray(descriptor, dtype=np.uint8), orientation_bin)
+
+    @staticmethod
+    def cycles_per_feature() -> float:
+        return 1.0
+
+
+# ---------------------------------------------------------------------------
+# Feature heap
+# ---------------------------------------------------------------------------
+@dataclass
+class HeapEntry:
+    """Feature record stored in the hardware heap."""
+
+    x: int
+    y: int
+    level: int
+    score: float
+    descriptor: np.ndarray
+
+
+class FeatureHeapUnit:
+    """The 1024-entry filtering heap of the ORB Extractor.
+
+    Streams feature records in, keeps the ``capacity`` highest Harris scores.
+    The cycle cost of an insertion is logarithmic in the heap size (one
+    comparator level per tree level), matching a pipelined hardware heap.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        self.capacity = capacity
+        self._heap: BoundedScoreHeap[HeapEntry] = BoundedScoreHeap(capacity)
+        self.offers = 0
+
+    def offer(self, entry: HeapEntry) -> bool:
+        self.offers += 1
+        return self._heap.offer(entry.score, entry)
+
+    def retained(self) -> List[HeapEntry]:
+        return self._heap.items_by_score()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def insertion_cycles(self) -> float:
+        """Average cycles per offered feature (log2(capacity) comparator steps)."""
+        return float(max(1, self.capacity.bit_length()))
+
+    def flush_cycles(self) -> float:
+        """Cycles to drain the heap contents to the AXI write channel."""
+        return float(len(self._heap))
+
+    def cycle_breakdown(self) -> CycleBreakdown:
+        breakdown = CycleBreakdown()
+        breakdown.add("heap.insert", self.offers * self.insertion_cycles())
+        breakdown.add("heap.flush", self.flush_cycles())
+        return breakdown

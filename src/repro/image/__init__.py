@@ -1,0 +1,37 @@
+"""Image substrate: containers, filtering, pyramids and synthetic textures."""
+
+from .image import GrayImage, box_sum, circular_mask, integral_image
+from .filters import box_blur, gaussian_blur, gaussian_kernel_1d, gaussian_kernel_2d, sobel_gradients
+from .pyramid import ImagePyramid, PyramidLevel, nearest_neighbor_resize, pyramid_pixel_ratio
+from .synthetic import (
+    add_gaussian_noise,
+    checkerboard,
+    isolated_corner,
+    random_blocks,
+    rotate_image,
+    shift_image,
+    textured_noise,
+)
+
+__all__ = [
+    "GrayImage",
+    "circular_mask",
+    "integral_image",
+    "box_sum",
+    "gaussian_blur",
+    "box_blur",
+    "gaussian_kernel_1d",
+    "gaussian_kernel_2d",
+    "sobel_gradients",
+    "ImagePyramid",
+    "PyramidLevel",
+    "nearest_neighbor_resize",
+    "pyramid_pixel_ratio",
+    "checkerboard",
+    "random_blocks",
+    "textured_noise",
+    "isolated_corner",
+    "add_gaussian_noise",
+    "shift_image",
+    "rotate_image",
+]

@@ -1,0 +1,130 @@
+"""Synthetic texture and test-image generation.
+
+TUM RGB-D frames are not available offline, so the dataset substrate renders
+synthetic scenes whose surfaces carry corner-rich textures.  This module
+generates those textures and a few simple standalone test images (checkerboard,
+random blocks, isolated corners) used by unit tests of the detector stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ImageError
+from .image import GrayImage
+
+
+def checkerboard(height: int, width: int, square: int = 16, low: int = 40, high: int = 220) -> GrayImage:
+    """Return a checkerboard image: strong, regularly spaced corners."""
+    if square <= 0:
+        raise ImageError("square size must be positive")
+    rows = (np.arange(height) // square) % 2
+    cols = (np.arange(width) // square) % 2
+    board = np.bitwise_xor.outer(rows, cols)
+    pixels = np.where(board == 1, high, low).astype(np.uint8)
+    return GrayImage(pixels)
+
+
+def random_blocks(
+    height: int,
+    width: int,
+    block: int = 8,
+    seed: int = 0,
+    low: int = 20,
+    high: int = 235,
+) -> GrayImage:
+    """Return a blocky random texture (piecewise-constant, corner rich).
+
+    Each ``block x block`` tile gets an independent uniform intensity, which
+    produces strong FAST corners at tile junctions while remaining stable
+    under small viewpoint changes -- the property the synthetic SLAM scenes
+    rely on.
+    """
+    if block <= 0:
+        raise ImageError("block size must be positive")
+    rng = np.random.default_rng(seed)
+    tiles_h = (height + block - 1) // block
+    tiles_w = (width + block - 1) // block
+    tiles = rng.integers(low, high + 1, size=(tiles_h, tiles_w), dtype=np.int64)
+    pixels = np.kron(tiles, np.ones((block, block), dtype=np.int64))
+    return GrayImage(pixels[:height, :width].astype(np.uint8))
+
+
+def textured_noise(height: int, width: int, seed: int = 0, smooth: int = 2) -> GrayImage:
+    """Return band-limited noise (random texture with mid-frequency content)."""
+    rng = np.random.default_rng(seed)
+    noise = rng.normal(0.0, 1.0, size=(height, width))
+    for _ in range(max(0, smooth)):
+        noise = 0.25 * (
+            np.roll(noise, 1, axis=0)
+            + np.roll(noise, -1, axis=0)
+            + np.roll(noise, 1, axis=1)
+            + np.roll(noise, -1, axis=1)
+        )
+    noise -= noise.min()
+    peak = noise.max()
+    if peak > 0:
+        noise /= peak
+    return GrayImage((noise * 255.0).astype(np.uint8))
+
+
+def isolated_corner(height: int = 64, width: int = 64, corner_xy: tuple[int, int] | None = None) -> GrayImage:
+    """Return an image with a single bright rectangle corner.
+
+    The corner of the rectangle lies exactly at ``corner_xy`` (default: image
+    centre), giving detector unit tests a known ground-truth location.
+    """
+    cx, cy = corner_xy if corner_xy is not None else (width // 2, height // 2)
+    if not (0 < cx < width and 0 < cy < height):
+        raise ImageError("corner must lie strictly inside the image")
+    pixels = np.full((height, width), 30, dtype=np.uint8)
+    pixels[cy:, cx:] = 220
+    return GrayImage(pixels)
+
+
+def add_gaussian_noise(image: GrayImage, sigma: float, seed: int = 0) -> GrayImage:
+    """Return ``image`` corrupted by additive Gaussian noise of std ``sigma``."""
+    if sigma < 0:
+        raise ImageError("sigma must be non-negative")
+    rng = np.random.default_rng(seed)
+    noisy = image.as_float() + rng.normal(0.0, sigma, size=image.shape)
+    return GrayImage(np.clip(np.rint(noisy), 0, 255).astype(np.uint8))
+
+
+def shift_image(image: GrayImage, dx: int, dy: int, fill: int = 0) -> GrayImage:
+    """Return ``image`` translated by integer ``(dx, dy)`` pixels.
+
+    Exposed for matcher unit tests: features extracted from a shifted copy
+    should match their originals with near-zero Hamming distance.
+    """
+    pixels = np.full_like(image.pixels, fill)
+    h, w = image.shape
+    src_x0, src_x1 = max(0, -dx), min(w, w - dx)
+    src_y0, src_y1 = max(0, -dy), min(h, h - dy)
+    dst_x0, dst_x1 = max(0, dx), min(w, w + dx)
+    dst_y0, dst_y1 = max(0, dy), min(h, h + dy)
+    if src_x0 < src_x1 and src_y0 < src_y1:
+        pixels[dst_y0:dst_y1, dst_x0:dst_x1] = image.pixels[src_y0:src_y1, src_x0:src_x1]
+    return GrayImage(pixels)
+
+
+def rotate_image(image: GrayImage, angle_rad: float, fill: int = 0) -> GrayImage:
+    """Return ``image`` rotated about its centre by ``angle_rad`` (nearest neighbour).
+
+    Used by descriptor rotation-invariance tests: RS-BRIEF descriptors of the
+    same feature before and after an in-plane rotation should stay close in
+    Hamming distance once the orientation-driven shift is applied.
+    """
+    h, w = image.shape
+    cy, cx = (h - 1) / 2.0, (w - 1) / 2.0
+    yy, xx = np.meshgrid(np.arange(h), np.arange(w), indexing="ij")
+    # inverse mapping: destination -> source
+    cos_a, sin_a = np.cos(angle_rad), np.sin(angle_rad)
+    sx = cos_a * (xx - cx) + sin_a * (yy - cy) + cx
+    sy = -sin_a * (xx - cx) + cos_a * (yy - cy) + cy
+    sxi = np.rint(sx).astype(np.int64)
+    syi = np.rint(sy).astype(np.int64)
+    valid = (sxi >= 0) & (sxi < w) & (syi >= 0) & (syi < h)
+    out = np.full((h, w), fill, dtype=np.uint8)
+    out[valid] = image.pixels[syi[valid], sxi[valid]]
+    return GrayImage(out)

@@ -1,0 +1,27 @@
+"""Descriptor matching: Hamming distance and brute-force matchers."""
+
+from .hamming import (
+    hamming_distance,
+    hamming_distance_matrix,
+    normalized_hamming,
+    popcount_bytes,
+)
+from .matcher import (
+    BruteForceMatcher,
+    Match,
+    MatchStatistics,
+    filter_matches_by_distance,
+    match_minimum_distance,
+)
+
+__all__ = [
+    "hamming_distance",
+    "hamming_distance_matrix",
+    "normalized_hamming",
+    "popcount_bytes",
+    "BruteForceMatcher",
+    "Match",
+    "MatchStatistics",
+    "match_minimum_distance",
+    "filter_matches_by_distance",
+]

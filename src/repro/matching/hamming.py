@@ -1,0 +1,65 @@
+"""Hamming distance between binary descriptors.
+
+BRIEF descriptors are binary strings, so descriptor distance is the Hamming
+distance (number of differing bits).  The hardware Distance Computing module
+realises this with XOR followed by a popcount adder tree; the software path
+uses a byte-wise popcount lookup table so that full ``N x M`` distance
+matrices are a handful of vectorised numpy operations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DescriptorError
+
+#: Popcount of every byte value, used to vectorise Hamming distance.
+_POPCOUNT_TABLE = np.array([bin(value).count("1") for value in range(256)], dtype=np.uint8)
+
+
+def _validate_descriptor_matrix(descriptors: np.ndarray, name: str) -> np.ndarray:
+    matrix = np.asarray(descriptors, dtype=np.uint8)
+    if matrix.ndim == 1:
+        matrix = matrix[np.newaxis, :]
+    if matrix.ndim != 2:
+        raise DescriptorError(f"{name} must be a 1-D or 2-D byte array, got {matrix.ndim}-D")
+    return matrix
+
+
+def hamming_distance(a: np.ndarray, b: np.ndarray) -> int:
+    """Return the Hamming distance between two packed descriptors."""
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    if a.shape != b.shape:
+        raise DescriptorError(f"descriptor shapes differ: {a.shape} vs {b.shape}")
+    return int(_POPCOUNT_TABLE[np.bitwise_xor(a, b)].sum())
+
+
+def hamming_distance_matrix(descriptors_a: np.ndarray, descriptors_b: np.ndarray) -> np.ndarray:
+    """Return the ``(N, M)`` Hamming distance matrix between two descriptor sets.
+
+    ``descriptors_a`` has shape ``(N, B)`` and ``descriptors_b`` ``(M, B)``
+    where ``B`` is the descriptor byte length (32 for 256-bit descriptors).
+    """
+    a = _validate_descriptor_matrix(descriptors_a, "descriptors_a")
+    b = _validate_descriptor_matrix(descriptors_b, "descriptors_b")
+    if a.shape[1] != b.shape[1]:
+        raise DescriptorError(
+            f"descriptor byte lengths differ: {a.shape[1]} vs {b.shape[1]}"
+        )
+    xor = np.bitwise_xor(a[:, np.newaxis, :], b[np.newaxis, :, :])
+    return _POPCOUNT_TABLE[xor].sum(axis=2, dtype=np.int32)
+
+
+def popcount_bytes(values: np.ndarray) -> np.ndarray:
+    """Return the popcount of every byte in ``values`` (same shape)."""
+    return _POPCOUNT_TABLE[np.asarray(values, dtype=np.uint8)]
+
+
+def normalized_hamming(a: np.ndarray, b: np.ndarray) -> float:
+    """Return the Hamming distance as a fraction of descriptor length in bits."""
+    a = np.asarray(a, dtype=np.uint8)
+    total_bits = a.size * 8
+    if total_bits == 0:
+        raise DescriptorError("descriptors must not be empty")
+    return hamming_distance(a, b) / total_bits

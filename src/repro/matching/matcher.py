@@ -1,0 +1,132 @@
+"""Brute-force descriptor matching.
+
+Feature matching in eSLAM compares every descriptor of the current frame with
+every descriptor of the global map and keeps the minimum-distance candidate
+(Section 3.2).  The software matcher reproduces that behaviour and adds the
+standard quality filters (maximum distance, Lowe ratio test, cross-check)
+used to reject ambiguous matches before pose estimation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..config import MatcherConfig
+from ..errors import DescriptorError
+from .hamming import hamming_distance_matrix
+
+
+@dataclass(frozen=True)
+class Match:
+    """A single descriptor correspondence.
+
+    ``query_index`` indexes the current-frame descriptor set, ``train_index``
+    the reference (map) descriptor set, and ``distance`` is their Hamming
+    distance in bits.
+    """
+
+    query_index: int
+    train_index: int
+    distance: int
+
+
+@dataclass
+class MatchStatistics:
+    """Aggregate statistics of one matching pass (used by runtime models)."""
+
+    num_queries: int = 0
+    num_candidates: int = 0
+    distance_evaluations: int = 0
+    accepted: int = 0
+    rejected_distance: int = 0
+    rejected_ratio: int = 0
+    rejected_cross_check: int = 0
+
+
+class BruteForceMatcher:
+    """Exhaustive Hamming matcher with optional ratio and cross-check filters."""
+
+    def __init__(self, config: MatcherConfig | None = None) -> None:
+        self.config = config or MatcherConfig()
+        self.last_stats = MatchStatistics()
+
+    def match(
+        self,
+        query_descriptors: np.ndarray,
+        train_descriptors: np.ndarray,
+    ) -> List[Match]:
+        """Match every query descriptor against the train set.
+
+        Returns at most one match per query descriptor; matches that fail the
+        distance, ratio or cross-check criteria are dropped.
+        """
+        query = np.asarray(query_descriptors, dtype=np.uint8)
+        train = np.asarray(train_descriptors, dtype=np.uint8)
+        stats = MatchStatistics(
+            num_queries=int(query.shape[0]) if query.ndim == 2 else 0,
+            num_candidates=int(train.shape[0]) if train.ndim == 2 else 0,
+        )
+        self.last_stats = stats
+        if query.size == 0 or train.size == 0:
+            return []
+        if query.ndim != 2 or train.ndim != 2:
+            raise DescriptorError("descriptor sets must be 2-D (N, bytes) arrays")
+        distances = hamming_distance_matrix(query, train)
+        stats.distance_evaluations = distances.size
+        best_train = np.argmin(distances, axis=1)
+        best_distance = distances[np.arange(distances.shape[0]), best_train]
+        matches: List[Match] = []
+        reverse_best = np.argmin(distances, axis=0) if self.config.cross_check else None
+        for qi in range(distances.shape[0]):
+            ti = int(best_train[qi])
+            dist = int(best_distance[qi])
+            if dist > self.config.max_hamming_distance:
+                stats.rejected_distance += 1
+                continue
+            if not self._passes_ratio_test(distances[qi], ti, dist):
+                stats.rejected_ratio += 1
+                continue
+            if reverse_best is not None and int(reverse_best[ti]) != qi:
+                stats.rejected_cross_check += 1
+                continue
+            matches.append(Match(query_index=qi, train_index=ti, distance=dist))
+        stats.accepted = len(matches)
+        return matches
+
+    def _passes_ratio_test(self, row: np.ndarray, best_index: int, best_distance: int) -> bool:
+        """Lowe ratio test: best distance must be clearly below the second best."""
+        if self.config.ratio_threshold >= 1.0 or row.size < 2:
+            return True
+        second = np.partition(np.delete(row, best_index), 0)[0]
+        if second == 0:
+            return False
+        return best_distance <= self.config.ratio_threshold * float(second)
+
+
+def match_minimum_distance(
+    query_descriptors: np.ndarray, train_descriptors: np.ndarray
+) -> List[Match]:
+    """Pure minimum-distance matching with no filters.
+
+    This is exactly what the hardware BRIEF Matcher computes: for every
+    current-frame descriptor, the index of the global-map descriptor with the
+    minimum Hamming distance.  Filters are applied later on the host.
+    """
+    query = np.asarray(query_descriptors, dtype=np.uint8)
+    train = np.asarray(train_descriptors, dtype=np.uint8)
+    if query.size == 0 or train.size == 0:
+        return []
+    distances = hamming_distance_matrix(query, train)
+    best = np.argmin(distances, axis=1)
+    return [
+        Match(query_index=qi, train_index=int(ti), distance=int(distances[qi, ti]))
+        for qi, ti in enumerate(best)
+    ]
+
+
+def filter_matches_by_distance(matches: Sequence[Match], max_distance: int) -> List[Match]:
+    """Return the subset of ``matches`` whose distance is within ``max_distance``."""
+    return [m for m in matches if m.distance <= max_distance]

@@ -1,0 +1,185 @@
+"""Generic Levenberg-Marquardt optimiser.
+
+Pose optimisation in eSLAM minimises the reprojection error of observed map
+points with the Levenberg-Marquardt method (equation (1) and reference [7]).
+This module implements a problem-agnostic LM driver over a user-supplied
+residual function, parameter-update rule and (optionally analytic) Jacobian;
+:mod:`repro.optimization.pose_optimizer` instantiates it on SE(3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, List, Optional, TypeVar
+
+import numpy as np
+
+from ..errors import OptimizationError
+
+P = TypeVar("P")
+
+ResidualFn = Callable[[P], np.ndarray]
+JacobianFn = Callable[[P], np.ndarray]
+UpdateFn = Callable[[P, np.ndarray], P]
+
+
+@dataclass
+class LMConfig:
+    """Levenberg-Marquardt hyper-parameters."""
+
+    max_iterations: int = 30
+    initial_lambda: float = 1e-3
+    lambda_decrease: float = 0.5
+    lambda_increase: float = 4.0
+    min_lambda: float = 1e-9
+    max_lambda: float = 1e7
+    cost_tolerance: float = 1e-10
+    step_tolerance: float = 1e-12
+
+
+@dataclass
+class LMHistoryEntry:
+    """Cost and damping value after one accepted or rejected step."""
+
+    iteration: int
+    cost: float
+    lambda_value: float
+    accepted: bool
+
+
+@dataclass
+class LMResult(Generic[P]):
+    """Final state of a Levenberg-Marquardt run."""
+
+    parameters: P
+    cost: float
+    initial_cost: float
+    iterations: int
+    converged: bool
+    history: List[LMHistoryEntry]
+
+    @property
+    def cost_reduction(self) -> float:
+        return self.initial_cost - self.cost
+
+
+def numerical_jacobian(
+    residual_fn: ResidualFn[P],
+    update_fn: UpdateFn[P],
+    parameters: P,
+    dim: int,
+    epsilon: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference Jacobian of ``residual_fn`` wrt a ``dim``-vector increment.
+
+    Used as a fallback when no analytic Jacobian is supplied and by tests to
+    validate analytic Jacobians.
+    """
+    base = residual_fn(parameters)
+    jac = np.zeros((base.size, dim))
+    for k in range(dim):
+        delta = np.zeros(dim)
+        delta[k] = epsilon
+        plus = residual_fn(update_fn(parameters, delta))
+        minus = residual_fn(update_fn(parameters, -delta))
+        jac[:, k] = (plus - minus) / (2.0 * epsilon)
+    return jac
+
+
+class LevenbergMarquardt(Generic[P]):
+    """Damped Gauss-Newton minimisation of ``0.5 * ||r(p)||^2``.
+
+    Parameters are an opaque type ``P`` updated through ``update_fn(p, delta)``
+    where ``delta`` is a local increment of dimension ``parameter_dim`` --
+    this accommodates manifold parameters such as SE(3) poses.
+    """
+
+    def __init__(
+        self,
+        residual_fn: ResidualFn[P],
+        update_fn: UpdateFn[P],
+        parameter_dim: int,
+        jacobian_fn: Optional[JacobianFn[P]] = None,
+        weights_fn: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        config: LMConfig | None = None,
+    ) -> None:
+        if parameter_dim <= 0:
+            raise OptimizationError("parameter_dim must be positive")
+        self.residual_fn = residual_fn
+        self.update_fn = update_fn
+        self.parameter_dim = parameter_dim
+        self.jacobian_fn = jacobian_fn
+        self.weights_fn = weights_fn
+        self.config = config or LMConfig()
+
+    def _jacobian(self, parameters: P) -> np.ndarray:
+        if self.jacobian_fn is not None:
+            return self.jacobian_fn(parameters)
+        return numerical_jacobian(
+            self.residual_fn, self.update_fn, parameters, self.parameter_dim
+        )
+
+    def _weighted(self, residual: np.ndarray, jac: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        if self.weights_fn is None:
+            return residual, jac
+        weights = np.sqrt(np.maximum(self.weights_fn(residual), 0.0))
+        return residual * weights, jac * weights[:, np.newaxis]
+
+    def optimize(self, initial_parameters: P) -> LMResult[P]:
+        """Run the damped iteration until convergence or the iteration cap."""
+        cfg = self.config
+        parameters = initial_parameters
+        residual = np.asarray(self.residual_fn(parameters), dtype=np.float64)
+        if residual.ndim != 1:
+            raise OptimizationError("residual function must return a 1-D array")
+        cost = float(residual @ residual)
+        initial_cost = cost
+        lam = cfg.initial_lambda
+        history: List[LMHistoryEntry] = []
+        converged = False
+        iterations = 0
+        for iterations in range(1, cfg.max_iterations + 1):
+            jac = self._jacobian(parameters)
+            if jac.shape != (residual.size, self.parameter_dim):
+                raise OptimizationError(
+                    f"jacobian shape {jac.shape} does not match "
+                    f"({residual.size}, {self.parameter_dim})"
+                )
+            weighted_residual, weighted_jac = self._weighted(residual, jac)
+            hessian = weighted_jac.T @ weighted_jac
+            gradient = weighted_jac.T @ weighted_residual
+            damping = lam * np.diag(np.diag(hessian) + 1e-12)
+            try:
+                delta = np.linalg.solve(hessian + damping, -gradient)
+            except np.linalg.LinAlgError as exc:
+                raise OptimizationError("singular normal equations") from exc
+            if float(np.linalg.norm(delta)) < cfg.step_tolerance:
+                converged = True
+                history.append(LMHistoryEntry(iterations, cost, lam, False))
+                break
+            candidate = self.update_fn(parameters, delta)
+            candidate_residual = np.asarray(self.residual_fn(candidate), dtype=np.float64)
+            candidate_cost = float(candidate_residual @ candidate_residual)
+            accepted = candidate_cost < cost
+            history.append(LMHistoryEntry(iterations, min(candidate_cost, cost), lam, accepted))
+            if accepted:
+                improvement = cost - candidate_cost
+                parameters = candidate
+                residual = candidate_residual
+                cost = candidate_cost
+                lam = max(lam * cfg.lambda_decrease, cfg.min_lambda)
+                if improvement <= cfg.cost_tolerance * (1.0 + cost):
+                    converged = True
+                    break
+            else:
+                lam = lam * cfg.lambda_increase
+                if lam > cfg.max_lambda:
+                    break
+        return LMResult(
+            parameters=parameters,
+            cost=cost,
+            initial_cost=initial_cost,
+            iterations=iterations,
+            converged=converged,
+            history=history,
+        )

@@ -1,0 +1,136 @@
+"""Cross-platform comparison harness (Tables 2 and 3).
+
+Bundles the runtime models and pipeline models of the three platforms and
+produces the comparison tables of the paper's evaluation: the per-stage
+runtime breakdown (Table 2) and the frame-rate / power / energy-per-frame
+table (Table 3), along with the speedup and energy-efficiency ratios quoted
+in the abstract and Section 4.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .pipeline import FrameTiming, PipelineModel
+from .runtime import CpuRuntimeModel, EslamRuntimeModel, StageRuntimes
+from .spec import ARM_CORTEX_A9, ESLAM, INTEL_I7, PlatformSpec
+from .workload import NOMINAL_WORKLOAD, FrameWorkload
+
+
+@dataclass
+class PlatformComparison:
+    """Comparison of the three paper platforms on a common workload."""
+
+    workload: FrameWorkload = field(default_factory=lambda: NOMINAL_WORKLOAD)
+
+    def __post_init__(self) -> None:
+        self._models = {
+            ARM_CORTEX_A9.name: CpuRuntimeModel(ARM_CORTEX_A9),
+            INTEL_I7.name: CpuRuntimeModel(INTEL_I7),
+            ESLAM.name: EslamRuntimeModel(),
+        }
+        self._specs: Dict[str, PlatformSpec] = {
+            ARM_CORTEX_A9.name: ARM_CORTEX_A9,
+            INTEL_I7.name: INTEL_I7,
+            ESLAM.name: ESLAM,
+        }
+
+    # -- Table 2 --------------------------------------------------------------
+    def stage_runtimes(self) -> Dict[str, StageRuntimes]:
+        """Per-stage runtime breakdown for every platform (Table 2)."""
+        return {
+            name: model.stage_runtimes(self.workload)
+            for name, model in self._models.items()
+        }
+
+    def runtime_table(self) -> List[Dict[str, object]]:
+        """Table-2-shaped rows: one row per stage, one column per platform."""
+        runtimes = self.stage_runtimes()
+        stage_names = [
+            "feature_extraction",
+            "feature_matching",
+            "pose_estimation",
+            "pose_optimization",
+            "map_updating",
+        ]
+        rows = []
+        for stage in stage_names:
+            row: Dict[str, object] = {"stage": stage}
+            for platform_name in (ESLAM.name, ARM_CORTEX_A9.name, INTEL_I7.name):
+                row[platform_name] = runtimes[platform_name].as_dict()[stage]
+            rows.append(row)
+        return rows
+
+    # -- Table 3 --------------------------------------------------------------
+    def frame_timings(self) -> Dict[str, Dict[str, FrameTiming]]:
+        """Normal-frame and key-frame timings for every platform (Table 3)."""
+        results: Dict[str, Dict[str, FrameTiming]] = {}
+        runtimes = self.stage_runtimes()
+        for name, spec in self._specs.items():
+            pipeline = PipelineModel(spec)
+            results[name] = {
+                "normal": pipeline.frame_timing(runtimes[name], is_keyframe=False),
+                "key": pipeline.frame_timing(runtimes[name], is_keyframe=True),
+            }
+        return results
+
+    def energy_table(self) -> List[Dict[str, object]]:
+        """Table-3-shaped rows (runtime, frame rate, power, energy per frame)."""
+        timings = self.frame_timings()
+        rows: List[Dict[str, object]] = []
+        for metric in ("runtime_ms", "frame_rate_fps", "power_w", "energy_per_frame_mj"):
+            for frame_kind in ("normal", "key"):
+                if metric == "power_w" and frame_kind == "key":
+                    continue  # power is frame-kind independent
+                row: Dict[str, object] = {
+                    "metric": metric,
+                    "frame_kind": frame_kind if metric != "power_w" else "-",
+                }
+                for platform_name in (ARM_CORTEX_A9.name, INTEL_I7.name, ESLAM.name):
+                    timing = timings[platform_name][frame_kind]
+                    row[platform_name] = getattr(timing, metric)
+                rows.append(row)
+        return rows
+
+    # -- headline ratios --------------------------------------------------------
+    def speedups(self) -> Dict[str, Dict[str, float]]:
+        """Frame-rate speedups of eSLAM over the CPU platforms."""
+        timings = self.frame_timings()
+        ratios: Dict[str, Dict[str, float]] = {}
+        for baseline in (ARM_CORTEX_A9.name, INTEL_I7.name):
+            ratios[baseline] = {
+                frame_kind: (
+                    timings[baseline][frame_kind].runtime_ms
+                    / timings[ESLAM.name][frame_kind].runtime_ms
+                )
+                for frame_kind in ("normal", "key")
+            }
+        return ratios
+
+    def energy_improvements(self) -> Dict[str, Dict[str, float]]:
+        """Energy-per-frame improvements of eSLAM over the CPU platforms."""
+        timings = self.frame_timings()
+        ratios: Dict[str, Dict[str, float]] = {}
+        for baseline in (ARM_CORTEX_A9.name, INTEL_I7.name):
+            ratios[baseline] = {
+                frame_kind: (
+                    timings[baseline][frame_kind].energy_per_frame_mj
+                    / timings[ESLAM.name][frame_kind].energy_per_frame_mj
+                )
+                for frame_kind in ("normal", "key")
+            }
+        return ratios
+
+    def stage_speedups(self) -> Dict[str, Dict[str, float]]:
+        """FE / FM stage speedups of eSLAM over the CPU platforms (Section 4.3)."""
+        runtimes = self.stage_runtimes()
+        eslam = runtimes[ESLAM.name]
+        out: Dict[str, Dict[str, float]] = {}
+        for baseline in (ARM_CORTEX_A9.name, INTEL_I7.name):
+            base = runtimes[baseline]
+            out[baseline] = {
+                "feature_extraction": base.feature_extraction / eslam.feature_extraction,
+                "feature_matching": base.feature_matching / eslam.feature_matching,
+            }
+        return out

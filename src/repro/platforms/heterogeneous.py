@@ -1,0 +1,100 @@
+"""Heterogeneous eSLAM system: functional SLAM + platform timing in one run.
+
+:class:`HeterogeneousSlamSystem` couples the functional SLAM pipeline (which
+produces real trajectories from rendered RGB-D frames) with the platform
+timing models, so a single run over a synthetic sequence yields both the
+accuracy results (Figure 8/9) and the modelled per-frame runtimes / energy on
+ARM, Intel i7 and eSLAM (Tables 2/3) for the *measured* workloads of that
+sequence rather than the nominal calibration point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..config import SlamConfig
+from ..dataset import RgbdSequence
+from ..slam import SlamRunResult, SlamSystem
+from .pipeline import PipelineModel
+from .runtime import CpuRuntimeModel, EslamRuntimeModel
+from .spec import ARM_CORTEX_A9, ESLAM, INTEL_I7
+from .workload import FrameWorkload
+
+
+@dataclass
+class FramePlatformTiming:
+    """Modelled timing of one frame on every platform."""
+
+    frame_index: int
+    is_keyframe: bool
+    runtime_ms: Dict[str, float]
+    energy_mj: Dict[str, float]
+
+
+@dataclass
+class HeterogeneousRunResult:
+    """Functional SLAM result plus per-frame platform timings."""
+
+    slam: SlamRunResult
+    frame_timings: List[FramePlatformTiming] = field(default_factory=list)
+
+    def average_runtime_ms(self, platform_name: str) -> float:
+        if not self.frame_timings:
+            return 0.0
+        return sum(t.runtime_ms[platform_name] for t in self.frame_timings) / len(
+            self.frame_timings
+        )
+
+    def average_energy_mj(self, platform_name: str) -> float:
+        if not self.frame_timings:
+            return 0.0
+        return sum(t.energy_mj[platform_name] for t in self.frame_timings) / len(
+            self.frame_timings
+        )
+
+    def average_frame_rate_fps(self, platform_name: str) -> float:
+        runtime = self.average_runtime_ms(platform_name)
+        return 1000.0 / runtime if runtime > 0 else 0.0
+
+
+class HeterogeneousSlamSystem:
+    """Runs functional SLAM and annotates every frame with platform timings."""
+
+    def __init__(self, config: SlamConfig | None = None) -> None:
+        self.config = config or SlamConfig()
+        self.slam = SlamSystem(self.config)
+        self._models = {
+            ARM_CORTEX_A9.name: CpuRuntimeModel(ARM_CORTEX_A9),
+            INTEL_I7.name: CpuRuntimeModel(INTEL_I7),
+            ESLAM.name: EslamRuntimeModel(self.config.extractor),
+        }
+        self._pipelines = {
+            ARM_CORTEX_A9.name: PipelineModel(ARM_CORTEX_A9),
+            INTEL_I7.name: PipelineModel(INTEL_I7),
+            ESLAM.name: PipelineModel(ESLAM),
+        }
+
+    def run(self, sequence: RgbdSequence, max_frames: int | None = None) -> HeterogeneousRunResult:
+        slam_result = self.slam.run(sequence, max_frames=max_frames)
+        frame_timings: List[FramePlatformTiming] = []
+        for tracking in slam_result.frame_results:
+            workload = FrameWorkload.from_stage_workload(tracking.workload)
+            runtimes: Dict[str, float] = {}
+            energies: Dict[str, float] = {}
+            for name, model in self._models.items():
+                stages = model.stage_runtimes(workload)
+                timing = self._pipelines[name].frame_timing(
+                    stages, is_keyframe=tracking.is_keyframe
+                )
+                runtimes[name] = timing.runtime_ms
+                energies[name] = timing.energy_per_frame_mj
+            frame_timings.append(
+                FramePlatformTiming(
+                    frame_index=tracking.frame_index,
+                    is_keyframe=tracking.is_keyframe,
+                    runtime_ms=runtimes,
+                    energy_mj=energies,
+                )
+            )
+        return HeterogeneousRunResult(slam=slam_result, frame_timings=frame_timings)

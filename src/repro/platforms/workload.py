@@ -1,0 +1,84 @@
+"""Workload description shared by all platform runtime models.
+
+A :class:`FrameWorkload` captures, in platform-independent units, how much
+work one frame requires in each pipeline stage.  The CPU runtime models and
+the accelerator cycle model both consume the same workload, which is what
+makes the cross-platform comparison (Tables 2 and 3) an apples-to-apples
+comparison of *architectures* rather than of implementations.
+
+:data:`NOMINAL_WORKLOAD` is the calibration anchor: a typical TUM frame at
+640x480 with a 4-level pyramid, ~2000 surviving keypoints, the 1024-feature
+heap limit and a ~1500-point local map, which is the operating point at which
+the per-stage runtimes of Table 2 were reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import PlatformModelError
+from ..slam.tracker import StageWorkload
+
+
+@dataclass(frozen=True)
+class FrameWorkload:
+    """Per-frame workload in architecture-neutral units."""
+
+    # feature extraction
+    pixels_processed: int = 771_000
+    descriptors_computed: int = 2_000
+    features_retained: int = 1_024
+    # feature matching
+    map_points: int = 1_500
+    distance_evaluations: int = 1_536_000
+    # pose estimation
+    ransac_iterations: int = 128
+    correspondences: int = 300
+    # pose optimisation
+    lm_iterations: int = 15
+    lm_observations: int = 250
+    # map updating
+    map_points_added: int = 400
+    map_points_culled_scan: int = 1_500
+
+    def __post_init__(self) -> None:
+        for field_name, value in vars(self).items():
+            if value < 0:
+                raise PlatformModelError(f"workload field '{field_name}' must be non-negative")
+
+    def scaled(self, factor: float) -> "FrameWorkload":
+        """Uniformly scale every counter (used by sensitivity sweeps)."""
+        if factor <= 0:
+            raise PlatformModelError("scale factor must be positive")
+        return FrameWorkload(
+            **{name: int(round(value * factor)) for name, value in vars(self).items()}
+        )
+
+    def with_map_points(self, map_points: int) -> "FrameWorkload":
+        """Return a copy with a different map size (updates distance evals too)."""
+        return replace(
+            self,
+            map_points=map_points,
+            distance_evaluations=self.features_retained * map_points,
+        )
+
+    @classmethod
+    def from_stage_workload(cls, stage: StageWorkload) -> "FrameWorkload":
+        """Convert the counters measured by the functional SLAM tracker."""
+        return cls(
+            pixels_processed=stage.pixels_processed,
+            descriptors_computed=max(stage.descriptors_computed, 1),
+            features_retained=max(stage.features_retained, 1),
+            map_points=max(stage.map_points_matched_against, 1),
+            distance_evaluations=max(stage.distance_evaluations, 1),
+            ransac_iterations=max(stage.ransac_iterations, 1),
+            correspondences=max(stage.matches_accepted, 1),
+            lm_iterations=max(stage.lm_iterations, 1),
+            lm_observations=max(stage.lm_observations, 1),
+            map_points_added=stage.map_points_added,
+            map_points_culled_scan=max(stage.map_size_after, 1),
+        )
+
+
+#: Calibration anchor for the paper's reported per-stage runtimes (Table 2).
+NOMINAL_WORKLOAD = FrameWorkload()

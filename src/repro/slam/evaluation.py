@@ -1,0 +1,153 @@
+"""Trajectory evaluation: absolute trajectory error and relative pose error.
+
+The accuracy of the SLAM system is measured by trajectory error -- the
+difference between the ground-truth trajectory and the estimated one
+(Section 4.2, Figure 8/9).  Following the TUM benchmark methodology, the
+estimated trajectory is first rigidly aligned to the ground truth (Horn /
+Umeyama closed form without scale) and the absolute trajectory error (ATE)
+is the RMSE / mean of the remaining translational differences.  Relative pose
+error (RPE) measures drift over a fixed frame delta.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..geometry import Pose
+
+
+@dataclass(frozen=True)
+class AteResult:
+    """Absolute trajectory error statistics (metres)."""
+
+    rmse: float
+    mean: float
+    median: float
+    max: float
+    per_frame_errors: np.ndarray
+    aligned_estimate: np.ndarray  # (N, 3) aligned estimated camera centres
+    ground_truth: np.ndarray  # (N, 3) ground-truth camera centres
+
+    @property
+    def mean_cm(self) -> float:
+        """Mean error in centimetres (the unit used by Figure 8)."""
+        return self.mean * 100.0
+
+    @property
+    def rmse_cm(self) -> float:
+        return self.rmse * 100.0
+
+
+@dataclass(frozen=True)
+class RpeResult:
+    """Relative pose error statistics over a fixed delta."""
+
+    delta_frames: int
+    translation_rmse: float
+    translation_mean: float
+    rotation_rmse_rad: float
+    rotation_mean_rad: float
+    per_pair_translation: np.ndarray
+    per_pair_rotation: np.ndarray
+
+
+def camera_centers(poses: Sequence[Pose]) -> np.ndarray:
+    """Stack camera centres (world frame) of world-to-camera poses."""
+    if not poses:
+        raise DatasetError("pose list must not be empty")
+    return np.stack([pose.camera_center() for pose in poses])
+
+
+def umeyama_alignment(
+    source: np.ndarray, target: np.ndarray, with_scale: bool = False
+) -> Tuple[np.ndarray, np.ndarray, float]:
+    """Closed-form rigid (optionally similarity) alignment ``target ~ s R source + t``.
+
+    Returns ``(rotation, translation, scale)`` minimising the squared error.
+    """
+    source = np.asarray(source, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if source.shape != target.shape or source.ndim != 2 or source.shape[1] != 3:
+        raise DatasetError("source and target must both be (N, 3)")
+    if source.shape[0] < 3:
+        raise DatasetError("alignment needs at least 3 points")
+    mu_source = source.mean(axis=0)
+    mu_target = target.mean(axis=0)
+    source_centered = source - mu_source
+    target_centered = target - mu_target
+    covariance = target_centered.T @ source_centered / source.shape[0]
+    u, singular_values, vt = np.linalg.svd(covariance)
+    sign = np.sign(np.linalg.det(u @ vt))
+    d = np.diag([1.0, 1.0, sign])
+    rotation = u @ d @ vt
+    if with_scale:
+        variance = (source_centered**2).sum() / source.shape[0]
+        scale = float(np.trace(np.diag(singular_values) @ d) / variance)
+    else:
+        scale = 1.0
+    translation = mu_target - scale * rotation @ mu_source
+    return rotation, translation, scale
+
+
+def absolute_trajectory_error(
+    estimated: Sequence[Pose], ground_truth: Sequence[Pose], align: bool = True
+) -> AteResult:
+    """Compute the ATE between estimated and ground-truth trajectories.
+
+    Both trajectories must have the same length and frame correspondence
+    (true by construction for the synthetic sequences).
+    """
+    if len(estimated) != len(ground_truth):
+        raise DatasetError("trajectories must have the same length")
+    est_centers = camera_centers(estimated)
+    gt_centers = camera_centers(ground_truth)
+    if align and len(estimated) >= 3:
+        rotation, translation, scale = umeyama_alignment(est_centers, gt_centers)
+        aligned = (scale * (rotation @ est_centers.T)).T + translation
+    else:
+        aligned = est_centers
+    errors = np.linalg.norm(aligned - gt_centers, axis=1)
+    return AteResult(
+        rmse=float(np.sqrt((errors**2).mean())),
+        mean=float(errors.mean()),
+        median=float(np.median(errors)),
+        max=float(errors.max()),
+        per_frame_errors=errors,
+        aligned_estimate=aligned,
+        ground_truth=gt_centers,
+    )
+
+
+def relative_pose_error(
+    estimated: Sequence[Pose], ground_truth: Sequence[Pose], delta_frames: int = 1
+) -> RpeResult:
+    """Compute the RPE over pose pairs separated by ``delta_frames``."""
+    if len(estimated) != len(ground_truth):
+        raise DatasetError("trajectories must have the same length")
+    if delta_frames < 1:
+        raise DatasetError("delta_frames must be >= 1")
+    if len(estimated) <= delta_frames:
+        raise DatasetError("trajectory too short for the requested delta")
+    translations: List[float] = []
+    rotations: List[float] = []
+    for i in range(len(estimated) - delta_frames):
+        est_rel = estimated[i + delta_frames].compose(estimated[i].inverse())
+        gt_rel = ground_truth[i + delta_frames].compose(ground_truth[i].inverse())
+        error = est_rel.compose(gt_rel.inverse())
+        translations.append(float(np.linalg.norm(error.translation)))
+        rotations.append(error.rotation_angle(Pose.identity()))
+    translation_array = np.array(translations)
+    rotation_array = np.array(rotations)
+    return RpeResult(
+        delta_frames=delta_frames,
+        translation_rmse=float(np.sqrt((translation_array**2).mean())),
+        translation_mean=float(translation_array.mean()),
+        rotation_rmse_rad=float(np.sqrt((rotation_array**2).mean())),
+        rotation_mean_rad=float(rotation_array.mean()),
+        per_pair_translation=translation_array,
+        per_pair_rotation=rotation_array,
+    )

@@ -1,0 +1,91 @@
+"""Frame representation used by the SLAM front-end."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import TrackingError
+from ..features import ExtractionResult, Feature
+from ..geometry import PinholeCamera, Pose
+from ..image import GrayImage
+
+
+@dataclass
+class Frame:
+    """One RGB-D frame moving through the SLAM pipeline.
+
+    A frame starts as raw sensor data (grayscale image + depth map) and is
+    progressively annotated with extracted features, its estimated pose and
+    its key-frame status.
+    """
+
+    index: int
+    timestamp: float
+    image: GrayImage
+    depth: np.ndarray
+    camera: PinholeCamera
+    features: List[Feature] = field(default_factory=list)
+    extraction: Optional[ExtractionResult] = None
+    pose: Optional[Pose] = None  # world-to-camera, set by the tracker
+    is_keyframe: bool = False
+
+    def __post_init__(self) -> None:
+        depth = np.asarray(self.depth, dtype=np.float64)
+        if depth.shape != self.image.shape:
+            raise TrackingError(
+                f"depth shape {depth.shape} does not match image shape {self.image.shape}"
+            )
+        self.depth = depth
+
+    # -- feature helpers -------------------------------------------------
+    def set_features(self, extraction: ExtractionResult) -> None:
+        """Attach the result of ORB extraction to this frame."""
+        self.extraction = extraction
+        self.features = list(extraction.features)
+
+    def descriptor_matrix(self) -> np.ndarray:
+        """Stack feature descriptors as an ``(N, 32)`` uint8 matrix."""
+        if not self.features:
+            return np.zeros((0, 32), dtype=np.uint8)
+        return np.stack([f.descriptor for f in self.features])
+
+    def keypoint_pixels(self) -> np.ndarray:
+        """Level-0 pixel coordinates of all features, ``(N, 2)``."""
+        if not self.features:
+            return np.zeros((0, 2), dtype=np.float64)
+        return np.array([[f.x0, f.y0] for f in self.features], dtype=np.float64)
+
+    def feature_depth(self, feature_index: int) -> float:
+        """Depth (metres) at the feature's level-0 pixel, 0 if invalid."""
+        if not 0 <= feature_index < len(self.features):
+            raise TrackingError(f"feature index {feature_index} out of range")
+        feature = self.features[feature_index]
+        x, y = int(round(feature.x0)), int(round(feature.y0))
+        if not (0 <= y < self.depth.shape[0] and 0 <= x < self.depth.shape[1]):
+            return 0.0
+        return float(self.depth[y, x])
+
+    def feature_depths(self) -> np.ndarray:
+        """Depths for all features (``0`` marks invalid depth)."""
+        return np.array(
+            [self.feature_depth(i) for i in range(len(self.features))], dtype=np.float64
+        )
+
+    # -- geometry helpers --------------------------------------------------
+    def back_project_feature(self, feature_index: int) -> Optional[np.ndarray]:
+        """World-frame 3-D point of a feature using its depth and frame pose.
+
+        Returns ``None`` when the feature has no valid depth.  Requires the
+        frame pose to be set.
+        """
+        if self.pose is None:
+            raise TrackingError("frame pose must be estimated before back-projection")
+        depth = self.feature_depth(feature_index)
+        if depth <= 0:
+            return None
+        feature = self.features[feature_index]
+        point_cam = self.camera.back_project(feature.x0, feature.y0, depth)
+        return self.pose.inverse().transform(point_cam)

@@ -1,0 +1,147 @@
+"""The global map: insertion, lookup and culling of map points.
+
+Map updating in eSLAM runs only on key frames: new 3-D points observed in the
+key frame are added to the global map, and points that have not been matched
+for a long period are deleted to keep the map bounded (Section 2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from ..errors import MapError
+from .map_point import MapPoint
+
+
+@dataclass
+class MapUpdateStats:
+    """Bookkeeping of one map-updating step (consumed by runtime models)."""
+
+    points_added: int = 0
+    points_deleted: int = 0
+    points_total: int = 0
+
+
+class GlobalMap:
+    """Container of all :class:`MapPoint` landmarks.
+
+    The map exposes dense descriptor/position matrices because both the
+    software matcher and the hardware BRIEF Matcher model operate on the
+    whole map at once.
+    """
+
+    def __init__(self, max_points: int = 20000) -> None:
+        if max_points <= 0:
+            raise MapError("max_points must be positive")
+        self.max_points = max_points
+        self._points: Dict[int, MapPoint] = {}
+        self._next_id = 0
+        self._dirty = True
+        self._descriptor_cache: Optional[np.ndarray] = None
+        self._position_cache: Optional[np.ndarray] = None
+        self._id_cache: List[int] = []
+
+    # -- basic container protocol -----------------------------------------
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __contains__(self, point_id: int) -> bool:
+        return point_id in self._points
+
+    def get(self, point_id: int) -> MapPoint:
+        try:
+            return self._points[point_id]
+        except KeyError as exc:
+            raise MapError(f"map point {point_id} does not exist") from exc
+
+    def points(self) -> List[MapPoint]:
+        return list(self._points.values())
+
+    # -- insertion -----------------------------------------------------------
+    def add_point(
+        self, position: np.ndarray, descriptor: np.ndarray, created_frame: int
+    ) -> MapPoint:
+        """Create a new landmark; returns the created :class:`MapPoint`."""
+        if len(self._points) >= self.max_points:
+            raise MapError(f"map is full (max_points={self.max_points})")
+        point = MapPoint(
+            point_id=self._next_id,
+            position=position,
+            descriptor=descriptor,
+            created_frame=created_frame,
+        )
+        self._points[point.point_id] = point
+        self._next_id += 1
+        self._dirty = True
+        return point
+
+    def add_points(
+        self,
+        positions: Iterable[np.ndarray],
+        descriptors: Iterable[np.ndarray],
+        created_frame: int,
+    ) -> List[MapPoint]:
+        """Bulk insertion used by key-frame map updates."""
+        created = []
+        for position, descriptor in zip(positions, descriptors):
+            if len(self._points) >= self.max_points:
+                break
+            created.append(self.add_point(position, descriptor, created_frame))
+        return created
+
+    # -- dense views ------------------------------------------------------------
+    def _refresh_cache(self) -> None:
+        if not self._dirty:
+            return
+        ids = sorted(self._points)
+        self._id_cache = ids
+        if ids:
+            self._descriptor_cache = np.stack([self._points[i].descriptor for i in ids])
+            self._position_cache = np.stack([self._points[i].position for i in ids])
+        else:
+            self._descriptor_cache = np.zeros((0, 32), dtype=np.uint8)
+            self._position_cache = np.zeros((0, 3), dtype=np.float64)
+        self._dirty = False
+
+    def descriptor_matrix(self) -> np.ndarray:
+        """All descriptors stacked ``(M, 32)`` in ascending point-id order."""
+        self._refresh_cache()
+        assert self._descriptor_cache is not None
+        return self._descriptor_cache
+
+    def position_matrix(self) -> np.ndarray:
+        """All positions stacked ``(M, 3)`` in ascending point-id order."""
+        self._refresh_cache()
+        assert self._position_cache is not None
+        return self._position_cache
+
+    def point_ids(self) -> List[int]:
+        """Point ids in the row order of the dense matrices."""
+        self._refresh_cache()
+        return list(self._id_cache)
+
+    # -- match bookkeeping / culling --------------------------------------------
+    def record_match(
+        self, point_id: int, frame_index: int, descriptor: np.ndarray | None = None
+    ) -> None:
+        self.get(point_id).record_match(frame_index, descriptor)
+        if descriptor is not None:
+            self._dirty = True
+
+    def cull(self, current_frame: int, ttl_frames: int) -> int:
+        """Delete points unmatched for more than ``ttl_frames``; return count."""
+        if ttl_frames <= 0:
+            raise MapError("ttl_frames must be positive")
+        stale = [
+            point_id
+            for point_id, point in self._points.items()
+            if point.frames_since_match(current_frame) > ttl_frames
+        ]
+        for point_id in stale:
+            del self._points[point_id]
+        if stale:
+            self._dirty = True
+        return len(stale)

@@ -1,0 +1,65 @@
+"""Map points: 3-D landmarks with binary descriptors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import MapError
+
+
+@dataclass
+class MapPoint:
+    """A 3-D landmark in the global map.
+
+    Attributes
+    ----------
+    point_id:
+        Unique identifier assigned by the map.
+    position:
+        World-frame 3-D coordinates.
+    descriptor:
+        Representative 256-bit descriptor (32 bytes) of the landmark.
+    created_frame:
+        Index of the key frame that created the point.
+    last_matched_frame:
+        Index of the most recent frame that matched this point; map updating
+        deletes points that have not been matched for a long period.
+    times_matched:
+        Number of frames that matched this point (a simple quality measure).
+    """
+
+    point_id: int
+    position: np.ndarray
+    descriptor: np.ndarray
+    created_frame: int
+    last_matched_frame: int = field(default=-1)
+    times_matched: int = 0
+
+    def __post_init__(self) -> None:
+        position = np.asarray(self.position, dtype=np.float64).reshape(3)
+        descriptor = np.asarray(self.descriptor, dtype=np.uint8)
+        if descriptor.ndim != 1 or descriptor.size == 0:
+            raise MapError("map point descriptor must be a non-empty byte vector")
+        self.position = position
+        self.descriptor = descriptor
+        if self.last_matched_frame < 0:
+            self.last_matched_frame = self.created_frame
+
+    def record_match(self, frame_index: int, descriptor: np.ndarray | None = None) -> None:
+        """Record that the point was matched in ``frame_index``.
+
+        Optionally refresh the representative descriptor with the newest
+        observation (keeps descriptors current under viewpoint change).
+        """
+        if frame_index < self.last_matched_frame:
+            raise MapError("frames must be processed in increasing order")
+        self.last_matched_frame = frame_index
+        self.times_matched += 1
+        if descriptor is not None:
+            self.descriptor = np.asarray(descriptor, dtype=np.uint8)
+
+    def frames_since_match(self, current_frame: int) -> int:
+        """Number of frames since the point was last matched."""
+        return max(0, current_frame - self.last_matched_frame)

@@ -1,0 +1,116 @@
+"""The complete ORB-SLAM system (functional model).
+
+:class:`SlamSystem` runs the full pipeline of Figure 1 over an RGB-D sequence
+and produces the estimated trajectory, per-frame tracking results and the
+per-stage workload statistics consumed by the platform models.  It is the
+software twin of the heterogeneous eSLAM system: the accelerated platform
+model in :mod:`repro.platforms` reuses its workloads, and the hardware
+simulator in :mod:`repro.hw` reproduces its feature-extraction stage cycle by
+cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..config import SlamConfig
+from ..dataset import RgbdFrame, RgbdSequence
+from ..geometry import Pose
+from .evaluation import AteResult, absolute_trajectory_error
+from .frame import Frame
+from .tracker import Tracker, TrackingResult
+
+
+@dataclass
+class SlamRunResult:
+    """Everything produced by running SLAM over one sequence."""
+
+    sequence_name: str
+    frame_results: List[TrackingResult] = field(default_factory=list)
+    estimated_poses: List[Pose] = field(default_factory=list)
+    ground_truth_poses: List[Pose] = field(default_factory=list)
+    timestamps: List[float] = field(default_factory=list)
+
+    @property
+    def num_frames(self) -> int:
+        return len(self.frame_results)
+
+    @property
+    def num_keyframes(self) -> int:
+        return sum(1 for result in self.frame_results if result.is_keyframe)
+
+    @property
+    def keyframe_ratio(self) -> float:
+        if not self.frame_results:
+            return 0.0
+        return self.num_keyframes / len(self.frame_results)
+
+    @property
+    def tracking_success_ratio(self) -> float:
+        if not self.frame_results:
+            return 0.0
+        return sum(1 for result in self.frame_results if result.tracked) / len(
+            self.frame_results
+        )
+
+    def ate(self, align: bool = True) -> AteResult:
+        """Absolute trajectory error against ground truth."""
+        return absolute_trajectory_error(
+            self.estimated_poses, self.ground_truth_poses, align=align
+        )
+
+    def mean_workload(self) -> dict:
+        """Average per-frame workload counters (for the runtime models)."""
+        if not self.frame_results:
+            return {}
+        keys = vars(self.frame_results[0].workload).keys()
+        averages = {}
+        for key in keys:
+            averages[key] = float(
+                np.mean([getattr(result.workload, key) for result in self.frame_results])
+            )
+        return averages
+
+
+class SlamSystem:
+    """Runs the full ORB-SLAM pipeline over RGB-D frames."""
+
+    def __init__(self, config: SlamConfig | None = None) -> None:
+        self.config = config or SlamConfig()
+        self.tracker = Tracker(self.config)
+
+    def process_frame(self, rgbd_frame: RgbdFrame, camera) -> TrackingResult:
+        """Process a single RGB-D frame (lower-level entry point)."""
+        frame = Frame(
+            index=rgbd_frame.index,
+            timestamp=rgbd_frame.timestamp,
+            image=rgbd_frame.image,
+            depth=rgbd_frame.depth,
+            camera=camera,
+        )
+        return self.tracker.process(frame)
+
+    def run(self, sequence: RgbdSequence, max_frames: Optional[int] = None) -> SlamRunResult:
+        """Run the system over a whole sequence and collect results."""
+        result = SlamRunResult(sequence_name=sequence.name)
+        for rgbd_frame in sequence:
+            if max_frames is not None and rgbd_frame.index >= max_frames:
+                break
+            tracking = self.process_frame(rgbd_frame, sequence.camera)
+            result.frame_results.append(tracking)
+            result.estimated_poses.append(tracking.pose)
+            result.ground_truth_poses.append(rgbd_frame.ground_truth_pose)
+            result.timestamps.append(rgbd_frame.timestamp)
+        return result
+
+
+def run_slam(
+    sequence: RgbdSequence,
+    config: SlamConfig | None = None,
+    max_frames: Optional[int] = None,
+) -> SlamRunResult:
+    """Convenience wrapper: construct a :class:`SlamSystem` and run it."""
+    return SlamSystem(config).run(sequence, max_frames=max_frames)

@@ -1,0 +1,36 @@
+"""Tests for the Markdown reproduction-report generator."""
+
+from repro.analysis.report import ReportOptions, build_report, write_report
+
+
+class TestReportGeneration:
+    def test_report_contains_all_model_sections(self):
+        report = build_report()
+        assert report.startswith("# eSLAM reproduction report")
+        assert "Table 1" in report
+        assert "Table 2" in report
+        assert "Table 3" in report
+        assert "ablations" in report
+        # accuracy is optional and off by default
+        assert "Figure 8" not in report
+
+    def test_report_quotes_paper_totals(self):
+        report = build_report()
+        assert "56954" in report
+        assert "feature_extraction" in report
+
+    def test_report_with_accuracy_section(self):
+        options = ReportOptions(
+            include_accuracy=True,
+            accuracy_frames=5,
+            accuracy_width=160,
+            accuracy_height=120,
+        )
+        report = build_report(options)
+        assert "Figure 8" in report
+        assert "RS-BRIEF" in report
+
+    def test_write_report(self, tmp_path):
+        path = write_report(tmp_path / "report.md")
+        assert path.exists()
+        assert path.read_text().startswith("# eSLAM reproduction report")

@@ -1,0 +1,125 @@
+"""Tests for intensity-centroid orientation and its 32-bin discretisation."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FeatureError
+from repro.features import (
+    NUM_ORIENTATION_BINS,
+    compute_orientation,
+    discretize_orientation,
+    intensity_centroid,
+    orientation_angle,
+    orientation_lut_label,
+)
+from repro.image import GrayImage
+
+
+def _gradient_patch(angle_rad: float, radius: int = 15) -> np.ndarray:
+    """A patch whose intensity increases along ``angle_rad``."""
+    coords = np.arange(-radius, radius + 1, dtype=np.float64)
+    yy, xx = np.meshgrid(coords, coords, indexing="ij")
+    direction = xx * math.cos(angle_rad) + yy * math.sin(angle_rad)
+    normalized = (direction - direction.min()) / (direction.max() - direction.min())
+    return (normalized * 255).astype(np.uint8)
+
+
+class TestIntensityCentroid:
+    def test_uniform_patch_centroid_at_origin(self):
+        patch = np.full((31, 31), 100, dtype=np.uint8)
+        u, v = intensity_centroid(patch)
+        assert u == pytest.approx(0.0, abs=1e-9)
+        assert v == pytest.approx(0.0, abs=1e-9)
+
+    def test_gradient_points_along_gradient(self):
+        patch = _gradient_patch(0.0)
+        u, v = intensity_centroid(patch)
+        assert u > 0.5
+        assert abs(v) < 0.2
+
+    def test_black_patch_returns_zero(self):
+        u, v = intensity_centroid(np.zeros((31, 31), dtype=np.uint8))
+        assert (u, v) == (0.0, 0.0)
+
+    def test_rejects_even_patch(self):
+        with pytest.raises(FeatureError):
+            intensity_centroid(np.zeros((30, 30), dtype=np.uint8))
+
+    def test_rejects_mismatched_mask(self):
+        with pytest.raises(FeatureError):
+            intensity_centroid(np.zeros((31, 31)), mask=np.ones((7, 7), dtype=bool))
+
+
+class TestDiscretisation:
+    def test_zero_angle_is_bin_zero(self):
+        assert discretize_orientation(0.0) == 0
+
+    def test_bin_width_is_11_25_degrees(self):
+        assert discretize_orientation(math.radians(11.25)) == 1
+        assert discretize_orientation(math.radians(22.5)) == 2
+
+    def test_rounding_to_nearest_bin(self):
+        assert discretize_orientation(math.radians(5.0)) == 0
+        assert discretize_orientation(math.radians(6.0)) == 1
+
+    def test_wraps_at_two_pi(self):
+        assert discretize_orientation(2 * math.pi) == 0
+        assert discretize_orientation(math.radians(359)) == 0
+
+    def test_negative_angles(self):
+        assert discretize_orientation(-math.radians(11.25)) == NUM_ORIENTATION_BINS - 1
+
+    def test_rejects_invalid_bins(self):
+        with pytest.raises(FeatureError):
+            discretize_orientation(0.5, num_bins=0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.floats(min_value=-10.0, max_value=10.0, allow_nan=False))
+    def test_discretisation_error_bounded(self, angle):
+        bin_index = discretize_orientation(angle)
+        bin_angle = bin_index * 2 * math.pi / NUM_ORIENTATION_BINS
+        error = abs((angle - bin_angle + math.pi) % (2 * math.pi) - math.pi)
+        # at most half a bin (5.625 degrees)
+        assert error <= math.pi / NUM_ORIENTATION_BINS + 1e-9
+
+
+class TestLutLabel:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.floats(min_value=-10, max_value=10, allow_nan=False),
+        st.floats(min_value=-10, max_value=10, allow_nan=False),
+    )
+    def test_lut_matches_atan2_discretisation(self, u, v):
+        if abs(u) < 1e-6 and abs(v) < 1e-6:
+            return
+        expected = discretize_orientation(orientation_angle(u, v))
+        assert orientation_lut_label(u, v) == expected
+
+    def test_cardinal_directions(self):
+        assert orientation_lut_label(1.0, 0.0) == 0
+        assert orientation_lut_label(0.0, 1.0) == 8
+        assert orientation_lut_label(-1.0, 0.0) == 16
+        assert orientation_lut_label(0.0, -1.0) == 24
+
+    def test_zero_vector_defaults_to_bin_zero(self):
+        assert orientation_lut_label(0.0, 0.0) == 0
+
+
+class TestComputeOrientation:
+    def test_direction_follows_intensity_gradient(self):
+        for angle_deg in (0, 45, 90, 180, 270):
+            angle = math.radians(angle_deg)
+            patch = _gradient_patch(angle, radius=20)
+            image = GrayImage(patch)
+            bin_index, measured = compute_orientation(image, 20, 20, radius=15)
+            error = abs((measured - angle + math.pi) % (2 * math.pi) - math.pi)
+            assert error < math.radians(15)
+            assert 0 <= bin_index < NUM_ORIENTATION_BINS
+
+    def test_rejects_patch_outside_image(self, blocks_image):
+        with pytest.raises(Exception):
+            compute_orientation(blocks_image, 2, 2, radius=15)

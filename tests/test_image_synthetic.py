@@ -1,0 +1,105 @@
+"""Tests for the synthetic texture and test-image generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.image import (
+    add_gaussian_noise,
+    checkerboard,
+    isolated_corner,
+    random_blocks,
+    rotate_image,
+    shift_image,
+    textured_noise,
+)
+
+
+class TestCheckerboard:
+    def test_shape_and_values(self):
+        board = checkerboard(64, 96, square=8, low=10, high=200)
+        assert board.shape == (64, 96)
+        assert set(np.unique(board.pixels).tolist()) == {10, 200}
+
+    def test_square_period(self):
+        board = checkerboard(32, 32, square=8)
+        assert board.pixels[0, 0] != board.pixels[0, 8]
+        assert board.pixels[0, 0] == board.pixels[0, 16]
+
+    def test_rejects_bad_square(self):
+        with pytest.raises(ImageError):
+            checkerboard(10, 10, square=0)
+
+
+class TestRandomBlocks:
+    def test_deterministic_for_seed(self):
+        a = random_blocks(40, 40, seed=5)
+        b = random_blocks(40, 40, seed=5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert random_blocks(40, 40, seed=1) != random_blocks(40, 40, seed=2)
+
+    def test_block_structure(self):
+        image = random_blocks(32, 32, block=8, seed=0)
+        block = image.pixels[:8, :8]
+        assert np.all(block == block[0, 0])
+
+    def test_intensity_range_respected(self):
+        image = random_blocks(64, 64, seed=3, low=50, high=60)
+        assert image.pixels.min() >= 50
+        assert image.pixels.max() <= 60
+
+
+class TestTexturedNoiseAndCorner:
+    def test_textured_noise_uses_full_range(self):
+        image = textured_noise(64, 64, seed=0)
+        assert image.pixels.min() == 0
+        assert image.pixels.max() == 255
+
+    def test_isolated_corner_location(self):
+        image = isolated_corner(64, 64, corner_xy=(20, 30))
+        assert image.pixels[30, 20] == 220
+        assert image.pixels[29, 19] == 30
+
+    def test_isolated_corner_rejects_boundary(self):
+        with pytest.raises(ImageError):
+            isolated_corner(32, 32, corner_xy=(0, 5))
+
+
+class TestNoiseShiftRotate:
+    def test_noise_changes_pixels_but_not_shape(self, blocks_image):
+        noisy = add_gaussian_noise(blocks_image, sigma=5.0, seed=1)
+        assert noisy.shape == blocks_image.shape
+        assert noisy != blocks_image
+
+    def test_zero_sigma_is_identity(self, blocks_image):
+        assert add_gaussian_noise(blocks_image, sigma=0.0) == blocks_image
+
+    def test_negative_sigma_rejected(self, blocks_image):
+        with pytest.raises(ImageError):
+            add_gaussian_noise(blocks_image, sigma=-1.0)
+
+    def test_shift_moves_content(self, blocks_image):
+        shifted = shift_image(blocks_image, 5, 3, fill=0)
+        assert np.array_equal(
+            shifted.pixels[3:, 5:], blocks_image.pixels[:-3, :-5]
+        )
+        assert np.all(shifted.pixels[:3, :] == 0)
+
+    def test_shift_negative_direction(self, blocks_image):
+        shifted = shift_image(blocks_image, -4, -2, fill=7)
+        assert np.array_equal(
+            shifted.pixels[:-2, :-4], blocks_image.pixels[2:, 4:]
+        )
+        assert np.all(shifted.pixels[-2:, :] == 7)
+
+    def test_rotate_zero_is_identity_in_the_interior(self, blocks_image):
+        rotated = rotate_image(blocks_image, 0.0)
+        assert rotated == blocks_image
+
+    def test_rotate_half_turn_reverses(self):
+        image = random_blocks(41, 41, block=5, seed=9)
+        rotated = rotate_image(image, np.pi)
+        # rotating 180 degrees about the centre flips both axes
+        assert np.array_equal(rotated.pixels[20, 10], image.pixels[20, 30])

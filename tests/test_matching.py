@@ -1,0 +1,175 @@
+"""Tests for Hamming distance and the brute-force matcher."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import MatcherConfig
+from repro.errors import DescriptorError
+from repro.matching import (
+    BruteForceMatcher,
+    Match,
+    filter_matches_by_distance,
+    hamming_distance,
+    hamming_distance_matrix,
+    match_minimum_distance,
+    normalized_hamming,
+    popcount_bytes,
+)
+
+
+def _random_descriptors(count: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=(count, 32), dtype=np.uint8)
+
+
+class TestHammingDistance:
+    def test_identical_descriptors_distance_zero(self):
+        descriptor = _random_descriptors(1)[0]
+        assert hamming_distance(descriptor, descriptor) == 0
+
+    def test_complement_distance_is_all_bits(self):
+        descriptor = _random_descriptors(1)[0]
+        assert hamming_distance(descriptor, np.bitwise_not(descriptor)) == 256
+
+    def test_single_bit_flip(self):
+        a = np.zeros(32, dtype=np.uint8)
+        b = a.copy()
+        b[5] = 0b00010000
+        assert hamming_distance(a, b) == 1
+
+    def test_symmetry(self):
+        a, b = _random_descriptors(2, seed=1)
+        assert hamming_distance(a, b) == hamming_distance(b, a)
+
+    def test_triangle_inequality(self):
+        a, b, c = _random_descriptors(3, seed=2)
+        assert hamming_distance(a, c) <= hamming_distance(a, b) + hamming_distance(b, c)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DescriptorError):
+            hamming_distance(np.zeros(32, dtype=np.uint8), np.zeros(16, dtype=np.uint8))
+
+    def test_popcount_table(self):
+        values = np.array([0, 1, 3, 255], dtype=np.uint8)
+        assert popcount_bytes(values).tolist() == [0, 1, 2, 8]
+
+    def test_normalized_distance(self):
+        a = np.zeros(32, dtype=np.uint8)
+        b = np.full(32, 255, dtype=np.uint8)
+        assert normalized_hamming(a, b) == pytest.approx(1.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_distance_matches_bit_count(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 256, 32, dtype=np.uint8)
+        b = rng.integers(0, 256, 32, dtype=np.uint8)
+        expected = int(np.unpackbits(np.bitwise_xor(a, b)).sum())
+        assert hamming_distance(a, b) == expected
+
+
+class TestDistanceMatrix:
+    def test_shape(self):
+        a = _random_descriptors(5, seed=3)
+        b = _random_descriptors(7, seed=4)
+        assert hamming_distance_matrix(a, b).shape == (5, 7)
+
+    def test_entries_match_pairwise(self):
+        a = _random_descriptors(4, seed=5)
+        b = _random_descriptors(3, seed=6)
+        matrix = hamming_distance_matrix(a, b)
+        for i in range(4):
+            for j in range(3):
+                assert matrix[i, j] == hamming_distance(a[i], b[j])
+
+    def test_diagonal_zero_for_same_set(self):
+        a = _random_descriptors(6, seed=7)
+        matrix = hamming_distance_matrix(a, a)
+        assert np.all(np.diag(matrix) == 0)
+
+    def test_byte_length_mismatch(self):
+        with pytest.raises(DescriptorError):
+            hamming_distance_matrix(
+                np.zeros((2, 32), dtype=np.uint8), np.zeros((2, 16), dtype=np.uint8)
+            )
+
+
+class TestMinimumDistanceMatching:
+    def test_finds_exact_copies(self):
+        train = _random_descriptors(20, seed=8)
+        query = train[[3, 7, 11]]
+        matches = match_minimum_distance(query, train)
+        assert [m.train_index for m in matches] == [3, 7, 11]
+        assert all(m.distance == 0 for m in matches)
+
+    def test_one_match_per_query(self):
+        query = _random_descriptors(5, seed=9)
+        train = _random_descriptors(30, seed=10)
+        matches = match_minimum_distance(query, train)
+        assert len(matches) == 5
+        assert [m.query_index for m in matches] == list(range(5))
+
+    def test_empty_inputs(self):
+        assert match_minimum_distance(np.zeros((0, 32), dtype=np.uint8), _random_descriptors(3)) == []
+        assert match_minimum_distance(_random_descriptors(3), np.zeros((0, 32), dtype=np.uint8)) == []
+
+
+class TestBruteForceMatcher:
+    def test_rejects_large_distances(self):
+        query = _random_descriptors(10, seed=11)
+        train = _random_descriptors(10, seed=12)  # unrelated: distances ~128
+        matcher = BruteForceMatcher(MatcherConfig(max_hamming_distance=30, ratio_threshold=1.0))
+        assert matcher.match(query, train) == []
+        assert matcher.last_stats.rejected_distance == 10
+
+    def test_accepts_exact_matches(self):
+        train = _random_descriptors(50, seed=13)
+        query = train[:10]
+        matcher = BruteForceMatcher(MatcherConfig(max_hamming_distance=30))
+        matches = matcher.match(query, train)
+        assert len(matches) == 10
+        assert all(m.distance == 0 for m in matches)
+
+    def test_ratio_test_rejects_ambiguous(self):
+        base = _random_descriptors(1, seed=14)[0]
+        near_a = base.copy()
+        near_a[0] ^= 0x01
+        near_b = base.copy()
+        near_b[1] ^= 0x01
+        train = np.stack([near_a, near_b])  # two nearly identical candidates
+        matcher = BruteForceMatcher(
+            MatcherConfig(max_hamming_distance=64, ratio_threshold=0.5)
+        )
+        assert matcher.match(base[np.newaxis, :], train) == []
+        assert matcher.last_stats.rejected_ratio == 1
+
+    def test_cross_check_requires_mutual_best(self):
+        train = _random_descriptors(20, seed=15)
+        query = train[:5]
+        matcher = BruteForceMatcher(
+            MatcherConfig(max_hamming_distance=64, ratio_threshold=1.0, cross_check=True)
+        )
+        matches = matcher.match(query, train)
+        assert [m.train_index for m in matches] == [0, 1, 2, 3, 4]
+
+    def test_statistics_populated(self):
+        query = _random_descriptors(4, seed=16)
+        train = _random_descriptors(6, seed=17)
+        matcher = BruteForceMatcher(MatcherConfig(max_hamming_distance=256, ratio_threshold=1.0))
+        matcher.match(query, train)
+        stats = matcher.last_stats
+        assert stats.num_queries == 4
+        assert stats.num_candidates == 6
+        assert stats.distance_evaluations == 24
+
+    def test_empty_returns_empty(self):
+        matcher = BruteForceMatcher()
+        assert matcher.match(np.zeros((0, 32), dtype=np.uint8), _random_descriptors(3)) == []
+
+
+class TestFilters:
+    def test_filter_by_distance(self):
+        matches = [Match(0, 1, 10), Match(1, 2, 40), Match(2, 3, 90)]
+        assert filter_matches_by_distance(matches, 40) == matches[:2]

@@ -1,0 +1,55 @@
+"""Tests for the heterogeneous system that couples SLAM runs with platform timing."""
+
+import pytest
+
+from repro.platforms import (
+    ARM_CORTEX_A9,
+    ESLAM,
+    INTEL_I7,
+    HeterogeneousSlamSystem,
+)
+
+
+@pytest.fixture(scope="module")
+def hetero_result(tiny_sequence, tiny_slam_config):
+    system = HeterogeneousSlamSystem(tiny_slam_config)
+    return system.run(tiny_sequence, max_frames=4)
+
+
+class TestHeterogeneousRun:
+    def test_one_timing_per_frame(self, hetero_result):
+        assert len(hetero_result.frame_timings) == 4
+        assert hetero_result.slam.num_frames == 4
+
+    def test_all_platforms_timed(self, hetero_result):
+        timing = hetero_result.frame_timings[1]
+        for name in (ARM_CORTEX_A9.name, INTEL_I7.name, ESLAM.name):
+            assert timing.runtime_ms[name] > 0
+            assert timing.energy_mj[name] > 0
+
+    def test_eslam_is_fastest_platform(self, hetero_result):
+        """The ordering eSLAM < i7 < ARM must hold for every frame."""
+        for timing in hetero_result.frame_timings:
+            assert timing.runtime_ms[ESLAM.name] < timing.runtime_ms[INTEL_I7.name]
+            assert timing.runtime_ms[INTEL_I7.name] < timing.runtime_ms[ARM_CORTEX_A9.name]
+
+    def test_eslam_energy_is_lowest(self, hetero_result):
+        for timing in hetero_result.frame_timings:
+            assert timing.energy_mj[ESLAM.name] < timing.energy_mj[ARM_CORTEX_A9.name]
+            assert timing.energy_mj[ESLAM.name] < timing.energy_mj[INTEL_I7.name]
+
+    def test_average_helpers(self, hetero_result):
+        average_runtime = hetero_result.average_runtime_ms(ESLAM.name)
+        assert average_runtime > 0
+        assert hetero_result.average_frame_rate_fps(ESLAM.name) == pytest.approx(
+            1000.0 / average_runtime
+        )
+        assert hetero_result.average_energy_mj(ESLAM.name) > 0
+
+    def test_slam_accuracy_still_good(self, hetero_result):
+        assert hetero_result.slam.ate().rmse_cm < 5.0
+
+    def test_keyframe_flags_consistent(self, hetero_result):
+        slam_flags = [r.is_keyframe for r in hetero_result.slam.frame_results]
+        timing_flags = [t.is_keyframe for t in hetero_result.frame_timings]
+        assert slam_flags == timing_flags

@@ -1,0 +1,138 @@
+"""Tests for trajectory evaluation: alignment, ATE and RPE."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.geometry import Pose, rotation_from_euler, so3_exp
+from repro.slam import (
+    absolute_trajectory_error,
+    camera_centers,
+    relative_pose_error,
+    umeyama_alignment,
+)
+
+
+def _circle_trajectory(num=20, radius=1.0):
+    poses = []
+    for k in range(num):
+        angle = 2 * np.pi * k / num
+        center = np.array([radius * np.cos(angle), 0.0, radius * np.sin(angle)])
+        rotation_wc = rotation_from_euler(0, 0, 0)
+        poses.append(Pose(rotation_wc, -rotation_wc @ center))
+    return poses
+
+
+def _transform_trajectory(poses, rotation, translation):
+    """Apply a rigid world-frame transform to every camera centre."""
+    out = []
+    for pose in poses:
+        center = rotation @ pose.camera_center() + translation
+        rotation_wc = pose.rotation @ rotation.T
+        out.append(Pose(rotation_wc, -rotation_wc @ center))
+    return out
+
+
+class TestUmeyama:
+    def test_identity_alignment(self):
+        points = np.random.default_rng(0).normal(size=(20, 3))
+        rotation, translation, scale = umeyama_alignment(points, points)
+        assert np.allclose(rotation, np.eye(3), atol=1e-9)
+        assert np.allclose(translation, np.zeros(3), atol=1e-9)
+        assert scale == 1.0
+
+    def test_recovers_known_rigid_transform(self):
+        rng = np.random.default_rng(1)
+        source = rng.normal(size=(30, 3))
+        true_rotation = so3_exp(np.array([0.2, -0.3, 0.5]))
+        true_translation = np.array([1.0, -2.0, 0.5])
+        target = source @ true_rotation.T + true_translation
+        rotation, translation, _ = umeyama_alignment(source, target)
+        assert np.allclose(rotation, true_rotation, atol=1e-9)
+        assert np.allclose(translation, true_translation, atol=1e-9)
+
+    def test_scale_estimation(self):
+        rng = np.random.default_rng(2)
+        source = rng.normal(size=(30, 3))
+        target = 2.5 * source
+        _, _, scale = umeyama_alignment(source, target, with_scale=True)
+        assert scale == pytest.approx(2.5)
+
+    def test_rejects_too_few_points(self):
+        with pytest.raises(DatasetError):
+            umeyama_alignment(np.zeros((2, 3)), np.zeros((2, 3)))
+
+
+class TestAte:
+    def test_identical_trajectories_zero_error(self):
+        poses = _circle_trajectory()
+        result = absolute_trajectory_error(poses, poses)
+        assert result.rmse == pytest.approx(0.0, abs=1e-12)
+        assert result.mean_cm == pytest.approx(0.0, abs=1e-9)
+
+    def test_alignment_removes_rigid_offset(self):
+        ground_truth = _circle_trajectory()
+        offset = _transform_trajectory(
+            ground_truth, so3_exp(np.array([0.0, 0.4, 0.0])), np.array([2.0, 1.0, -3.0])
+        )
+        aligned = absolute_trajectory_error(offset, ground_truth, align=True)
+        unaligned = absolute_trajectory_error(offset, ground_truth, align=False)
+        assert aligned.rmse == pytest.approx(0.0, abs=1e-9)
+        assert unaligned.rmse > 1.0
+
+    def test_known_error_magnitude(self):
+        ground_truth = _circle_trajectory()
+        # add a 5 cm error to one pose out of 20
+        noisy = list(ground_truth)
+        pose = noisy[3]
+        center = pose.camera_center() + np.array([0.05, 0.0, 0.0])
+        noisy[3] = Pose(pose.rotation, -pose.rotation @ center)
+        result = absolute_trajectory_error(noisy, ground_truth, align=False)
+        assert result.max == pytest.approx(0.05, abs=1e-9)
+        assert result.per_frame_errors.shape == (20,)
+
+    def test_cm_conversion(self):
+        ground_truth = _circle_trajectory(num=5)
+        shifted = _transform_trajectory(ground_truth, np.eye(3), np.array([0.0, 0.0, 0.0]))
+        result = absolute_trajectory_error(shifted, ground_truth, align=False)
+        assert result.mean_cm == pytest.approx(result.mean * 100.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(DatasetError):
+            absolute_trajectory_error(_circle_trajectory(5), _circle_trajectory(6))
+
+    def test_camera_centers_helper(self):
+        poses = _circle_trajectory(8)
+        centers = camera_centers(poses)
+        assert centers.shape == (8, 3)
+        assert np.allclose(np.linalg.norm(centers[:, [0, 2]], axis=1), 1.0)
+
+
+class TestRpe:
+    def test_zero_for_identical(self):
+        poses = _circle_trajectory()
+        result = relative_pose_error(poses, poses, delta_frames=1)
+        assert result.translation_rmse == pytest.approx(0.0, abs=1e-12)
+        assert result.rotation_rmse_rad == pytest.approx(0.0, abs=1e-9)
+
+    def test_detects_drift(self):
+        ground_truth = _circle_trajectory(20)
+        # simulate drift: each estimated pose slides an extra 1 cm along x
+        drifted = []
+        for index, pose in enumerate(ground_truth):
+            center = pose.camera_center() + np.array([0.01 * index, 0.0, 0.0])
+            drifted.append(Pose(pose.rotation, -pose.rotation @ center))
+        result = relative_pose_error(drifted, ground_truth, delta_frames=1)
+        assert result.translation_mean == pytest.approx(0.01, abs=1e-3)
+
+    def test_delta_validation(self):
+        poses = _circle_trajectory(5)
+        with pytest.raises(DatasetError):
+            relative_pose_error(poses, poses, delta_frames=0)
+        with pytest.raises(DatasetError):
+            relative_pose_error(poses, poses, delta_frames=5)
+
+    def test_pair_counts(self):
+        poses = _circle_trajectory(10)
+        result = relative_pose_error(poses, poses, delta_frames=3)
+        assert result.per_pair_translation.shape == (7,)
