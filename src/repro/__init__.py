@@ -6,6 +6,9 @@ ORB-SLAM on FPGA Platform" (Liu, Yang, Chen, Zhao -- DAC 2019):
 * :mod:`repro.features` -- the RS-BRIEF descriptor (the paper's algorithmic
   contribution), FAST/Harris/NMS/orientation and the full ORB extractor in
   both the original and the rescheduled (streaming) workflow.
+* :mod:`repro.backends` -- pluggable keypoint compute engines behind the
+  extractor: the scalar ``reference`` path and the batched ``vectorized``
+  default (bit-identical, registry-selected; see ``docs/backends.md``).
 * :mod:`repro.matching`, :mod:`repro.geometry`, :mod:`repro.optimization`,
   :mod:`repro.slam` -- the software SLAM pipeline (matching, PnP + RANSAC,
   Levenberg-Marquardt pose optimisation, mapping, evaluation).

@@ -4,6 +4,8 @@ from .tables import format_comparison, format_table
 from .report import ReportOptions, build_report, write_report
 from .experiments import (
     AccuracyRow,
+    BatchRunRecord,
+    BatchRunner,
     run_fig8_accuracy,
     run_fig9_trajectory,
     run_pyramid_ablation,
@@ -21,6 +23,8 @@ __all__ = [
     "build_report",
     "write_report",
     "AccuracyRow",
+    "BatchRunRecord",
+    "BatchRunner",
     "run_table1_resources",
     "run_table2_runtime",
     "run_table3_energy",

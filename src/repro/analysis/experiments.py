@@ -10,8 +10,8 @@ resolution while the example scripts run them at full scale.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
 
 from ..config import (
     ExtractorConfig,
@@ -20,6 +20,8 @@ from ..config import (
     TrackerConfig,
 )
 from ..dataset import SequenceSpec, make_sequence
+from ..errors import ReproError
+from ..features import OrbExtractor
 from ..hw import EslamAccelerator
 from ..image import GrayImage
 from ..platforms import NOMINAL_WORKLOAD, PlatformComparison
@@ -162,24 +164,36 @@ def run_fig8_accuracy(
     image_height: int = 240,
     sequences: Optional[List[str]] = None,
 ) -> List[AccuracyRow]:
-    """RS-BRIEF vs original ORB trajectory error on the five sequences (Figure 8)."""
+    """RS-BRIEF vs original ORB trajectory error on the five sequences (Figure 8).
+
+    Uses one :class:`BatchRunner` per descriptor mode so each compute engine
+    (and its pattern tables) is built once and reused across all sequences.
+    """
     names = sequences or ["fr1/xyz", "fr2/xyz", "fr1/desk", "fr1/room", "fr2/rpy"]
-    rows: List[AccuracyRow] = []
-    for name in names:
-        rs_error = run_sequence_accuracy(
-            name, True, num_frames=num_frames, image_width=image_width, image_height=image_height
+    specs = [
+        SequenceSpec(
+            name=name,
+            num_frames=num_frames,
+            image_width=image_width,
+            image_height=image_height,
         )
-        orb_error = run_sequence_accuracy(
-            name, False, num_frames=num_frames, image_width=image_width, image_height=image_height
+        for name in names
+    ]
+    runners = {
+        label: BatchRunner(config=_accuracy_slam_config(image_width, image_height, rs))
+        for label, rs in (("rs_brief", True), ("original_orb", False))
+    }
+    results = {
+        label: runner.run_all(specs, label=label) for label, runner in runners.items()
+    }
+    return [
+        AccuracyRow(
+            sequence=name,
+            rs_brief_error_cm=results["rs_brief"][index].ate_mean_cm,
+            original_orb_error_cm=results["original_orb"][index].ate_mean_cm,
         )
-        rows.append(
-            AccuracyRow(
-                sequence=name,
-                rs_brief_error_cm=rs_error,
-                original_orb_error_cm=orb_error,
-            )
-        )
-    return rows
+        for index, name in enumerate(names)
+    ]
 
 
 def run_fig9_trajectory(
@@ -205,6 +219,113 @@ def run_fig9_trajectory(
             "ground_truth_xyz": ate.ground_truth.tolist(),
         }
     return outputs
+
+
+# ---------------------------------------------------------------------------
+# Batched multi-sequence driver (one compute engine, many runs)
+# ---------------------------------------------------------------------------
+@dataclass
+class BatchRunRecord:
+    """Summary of one sequence run executed by :class:`BatchRunner`."""
+
+    sequence: str
+    tracker_label: str
+    num_frames: int
+    ate_mean_cm: float
+    ate_rmse_cm: float
+    tracking_success_ratio: float
+    features_per_frame: float
+    descriptors_computed: float
+
+    def as_row(self) -> Dict[str, object]:
+        """Row-dict form for :func:`repro.analysis.tables.format_table`."""
+        return {
+            "sequence": self.sequence,
+            "tracker": self.tracker_label,
+            "frames": self.num_frames,
+            "ate_mean_cm": self.ate_mean_cm,
+            "ate_rmse_cm": self.ate_rmse_cm,
+            "success": self.tracking_success_ratio,
+            "features/frame": self.features_per_frame,
+        }
+
+
+@dataclass
+class BatchRunner:
+    """Run many sequences / tracker configurations through ONE compute engine.
+
+    The expensive part of standing up a SLAM run is the extractor: descriptor
+    pattern tables, rotation gather tables and orientation grids are rebuilt
+    per :class:`OrbExtractor`.  ``BatchRunner`` builds the extractor (and its
+    keypoint compute backend, see :mod:`repro.backends`) once and shares it
+    across every accuracy sweep, which is how the Figure-8 style experiments
+    amortise setup over five sequences x two descriptor modes.  Tracker-side
+    settings may vary per run; the extractor configuration is fixed for the
+    lifetime of the runner (a different extractor config needs a new engine).
+    """
+
+    config: SlamConfig = field(default_factory=SlamConfig)
+    max_frames: Optional[int] = None
+    records: List[BatchRunRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.extractor = OrbExtractor(self.config.extractor)
+
+    def run_sequence(
+        self,
+        spec: SequenceSpec,
+        tracker: Optional[TrackerConfig] = None,
+        label: str = "default",
+    ) -> BatchRunRecord:
+        """Run SLAM over one synthetic sequence with the shared engine."""
+        if (spec.image_width, spec.image_height) != (
+            self.config.extractor.image_width,
+            self.config.extractor.image_height,
+        ):
+            raise ReproError(
+                f"sequence {spec.name!r} resolution {spec.image_width}x{spec.image_height} "
+                "does not match the shared extractor configuration"
+            )
+        config = self.config if tracker is None else replace(self.config, tracker=tracker)
+        sequence = make_sequence(spec)
+        result = SlamSystem(config, extractor=self.extractor).run(
+            sequence, max_frames=self.max_frames
+        )
+        ate = result.ate()
+        workload = result.mean_workload()
+        record = BatchRunRecord(
+            sequence=spec.name,
+            tracker_label=label,
+            num_frames=result.num_frames,
+            ate_mean_cm=ate.mean_cm,
+            ate_rmse_cm=ate.rmse_cm,
+            tracking_success_ratio=result.tracking_success_ratio,
+            features_per_frame=workload.get("features_retained", 0.0),
+            descriptors_computed=workload.get("descriptors_computed", 0.0),
+        )
+        self.records.append(record)
+        return record
+
+    def run_all(
+        self,
+        specs: Sequence[SequenceSpec],
+        tracker: Optional[TrackerConfig] = None,
+        label: str = "default",
+    ) -> List[BatchRunRecord]:
+        """Run every spec through the shared engine; returns the new records."""
+        return [self.run_sequence(spec, tracker=tracker, label=label) for spec in specs]
+
+    def summary(self) -> Dict[str, object]:
+        """Aggregate view over all runs performed so far."""
+        if not self.records:
+            return {"runs": 0, "rows": []}
+        return {
+            "runs": len(self.records),
+            "mean_ate_cm": sum(r.ate_mean_cm for r in self.records) / len(self.records),
+            "total_frames": sum(r.num_frames for r in self.records),
+            "backend": self.extractor.backend.name,
+            "rows": [record.as_row() for record in self.records],
+        }
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,26 @@
+"""Pluggable keypoint compute backends for the ORB extractor.
+
+See :mod:`repro.backends.base` for the interface and registry; importing this
+package registers the two built-in backends (``reference`` and
+``vectorized``).  ``docs/backends.md`` documents the architecture.
+"""
+
+from .base import (
+    DescribedBatch,
+    KeypointBackend,
+    available_backends,
+    create_backend,
+    register_backend,
+)
+from .reference import ReferenceBackend
+from .vectorized import VectorizedBackend
+
+__all__ = [
+    "DescribedBatch",
+    "KeypointBackend",
+    "available_backends",
+    "create_backend",
+    "register_backend",
+    "ReferenceBackend",
+    "VectorizedBackend",
+]

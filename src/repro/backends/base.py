@@ -1,0 +1,149 @@
+"""Keypoint compute backend interface and registry.
+
+The ORB extractor's hot path — orientation computation plus BRIEF/RS-BRIEF
+description for every detected keypoint — is delegated to a pluggable
+**keypoint compute backend**.  A backend is constructed once from an
+:class:`~repro.config.ExtractorConfig`, owns its precomputed tables (circular
+masks, rounded pattern locations, rotation gather tables) and then serves any
+number of frames.  Two implementations are registered:
+
+* ``reference`` -- the scalar per-keypoint path, kept as bit-exact ground
+  truth (:mod:`repro.backends.reference`);
+* ``vectorized`` -- the batched default that processes a whole pyramid level
+  per numpy pass (:mod:`repro.backends.vectorized`).
+
+Backends self-register through :func:`register_backend`, following the same
+parameterised-compute-unit-registry idiom as the hardware simulator: the
+configuration names the backend (``ExtractorConfig.backend``) and
+:func:`create_backend` resolves it.  Third parties can register additional
+backends (e.g. a GPU or fixed-point engine) without touching the extractor.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, ClassVar, Dict, List, Type
+
+import numpy as np
+
+from ..config import ExtractorConfig
+from ..errors import FeatureError
+from ..image import GrayImage
+
+
+@dataclass(frozen=True)
+class DescribedBatch:
+    """Per-level output of a backend: arrays over the described keypoints.
+
+    All arrays share the leading dimension ``K`` (keypoints that survived the
+    descriptor border check).  ``kept`` maps each row back to the index of the
+    keypoint in the input arrays, so callers that pre-selected candidates
+    (the original workflow) can scatter results into place.
+    """
+
+    xs: np.ndarray
+    ys: np.ndarray
+    scores: np.ndarray
+    orientation_bins: np.ndarray
+    orientation_rads: np.ndarray
+    descriptors: np.ndarray
+    kept: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return int(self.xs.size)
+
+    @classmethod
+    def empty(cls, num_bytes: int) -> "DescribedBatch":
+        return cls(
+            xs=np.zeros(0, dtype=np.int64),
+            ys=np.zeros(0, dtype=np.int64),
+            scores=np.zeros(0, dtype=np.float64),
+            orientation_bins=np.zeros(0, dtype=np.int64),
+            orientation_rads=np.zeros(0, dtype=np.float64),
+            descriptors=np.zeros((0, num_bytes), dtype=np.uint8),
+            kept=np.zeros(0, dtype=np.int64),
+        )
+
+
+class KeypointBackend(ABC):
+    """Batched orientation + description engine behind the ORB extractor.
+
+    A backend instance is stateless across frames apart from its precomputed
+    tables, so one instance can serve many extractors, sequences and
+    configurations (see :class:`repro.analysis.experiments.BatchRunner`).
+    """
+
+    name: ClassVar[str] = "abstract"
+
+    def __init__(self, config: ExtractorConfig) -> None:
+        # local import: repro.features imports the extractor which resolves
+        # backends lazily, so importing the engine factory here keeps the
+        # package import graph acyclic regardless of which side loads first
+        from ..features.brief import make_descriptor_engine
+
+        self.config = config
+        self.descriptor_engine = make_descriptor_engine(config.use_rs_brief, config.descriptor)
+
+    def patch_radius(self) -> int:
+        """Border margin the descriptor pattern needs around a keypoint."""
+        return self.descriptor_engine.patch_radius()
+
+    def valid_mask(self, image: GrayImage, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Keypoints whose orientation patch fits inside ``image``.
+
+        Mirrors the scalar path's ``image.contains(x, y, border=radius)``
+        check with ``radius = descriptor.patch_radius``.
+        """
+        radius = self.config.descriptor.patch_radius
+        return (
+            (xs >= radius)
+            & (xs < image.width - radius)
+            & (ys >= radius)
+            & (ys < image.height - radius)
+        )
+
+    @abstractmethod
+    def describe(
+        self,
+        smoothed: GrayImage,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        scores: np.ndarray,
+    ) -> DescribedBatch:
+        """Orient and describe the keypoints at ``(xs, ys)`` on one level.
+
+        ``smoothed`` is the Gaussian-blurred pyramid level.  Keypoints whose
+        descriptor patch does not fit are dropped (see ``kept``).
+        """
+
+
+_REGISTRY: Dict[str, Type[KeypointBackend]] = {}
+
+
+def register_backend(name: str) -> Callable[[Type[KeypointBackend]], Type[KeypointBackend]]:
+    """Class decorator registering a backend under ``name``."""
+
+    def decorator(cls: Type[KeypointBackend]) -> Type[KeypointBackend]:
+        if name in _REGISTRY:
+            raise FeatureError(f"backend {name!r} is already registered")
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorator
+
+
+def available_backends() -> List[str]:
+    """Names of all registered backends, sorted."""
+    return sorted(_REGISTRY)
+
+
+def create_backend(name: str, config: ExtractorConfig | None = None) -> KeypointBackend:
+    """Instantiate the backend registered under ``name``."""
+    if name not in _REGISTRY:
+        raise FeatureError(
+            f"unknown keypoint backend {name!r}; available: {', '.join(available_backends())}"
+        )
+    return _REGISTRY[name](config or ExtractorConfig())

@@ -70,7 +70,13 @@ class DescriptorConfig:
 
 @dataclass(frozen=True)
 class ExtractorConfig:
-    """Configuration of the full ORB extractor (software and hardware model)."""
+    """Configuration of the full ORB extractor (software and hardware model).
+
+    ``backend`` selects the keypoint compute engine used for the orientation
+    and description hot path: ``"vectorized"`` (default) batches whole pyramid
+    levels through numpy, ``"reference"`` keeps the bit-exact per-keypoint
+    scalar path.  See :mod:`repro.backends`.
+    """
 
     image_width: int = 640
     image_height: int = 480
@@ -80,6 +86,15 @@ class ExtractorConfig:
     max_features: int = 1024
     use_rs_brief: bool = True
     rescheduled_workflow: bool = True
+    backend: str = "vectorized"
+
+    def __post_init__(self) -> None:
+        if self.max_features <= 0:
+            raise ValueError("max_features must be positive")
+        if self.image_width <= 0 or self.image_height <= 0:
+            raise ValueError("image dimensions must be positive")
+        if not isinstance(self.backend, str) or not self.backend:
+            raise ValueError("backend must be a non-empty backend name")
 
     @property
     def image_shape(self) -> Tuple[int, int]:
@@ -89,6 +104,10 @@ class ExtractorConfig:
         """Return a copy of this configuration with the descriptor mode changed."""
         return replace(self, use_rs_brief=use_rs_brief)
 
+    def with_backend(self, backend: str) -> "ExtractorConfig":
+        """Return a copy of this configuration with a different compute backend."""
+        return replace(self, backend=backend)
+
 
 @dataclass(frozen=True)
 class MatcherConfig:
@@ -97,6 +116,12 @@ class MatcherConfig:
     max_hamming_distance: int = 64
     ratio_threshold: float = 0.85
     cross_check: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_hamming_distance < 0:
+            raise ValueError("max_hamming_distance must be non-negative")
+        if not 0.0 < self.ratio_threshold <= 1.0:
+            raise ValueError("ratio_threshold must lie in (0, 1]")
 
 
 @dataclass(frozen=True)

@@ -7,7 +7,9 @@ from .nms import non_maximum_suppression, suppress_keypoints
 from .orientation import (
     NUM_ORIENTATION_BINS,
     ORIENTATION_PATCH_RADIUS,
+    OrientationGrid,
     compute_orientation,
+    compute_orientations,
     discretize_orientation,
     intensity_centroid,
     orientation_angle,
@@ -16,6 +18,7 @@ from .orientation import (
 from .patterns import BriefPattern, RotatedPatternLUT, original_brief_pattern, rotated_pattern
 from .rs_brief import (
     RsBriefSeed,
+    descriptor_rotation_table,
     generate_seed,
     pattern_symmetry_error,
     rotate_descriptor_bits,
@@ -27,7 +30,9 @@ from .brief import (
     RsBriefDescriptorEngine,
     descriptor_rotation_equivalence_error,
     evaluate_pattern,
+    evaluate_pattern_batch,
     make_descriptor_engine,
+    pack_bit_matrix,
     pack_bits,
     unpack_bits,
 )
@@ -54,7 +59,9 @@ __all__ = [
     "suppress_keypoints",
     "NUM_ORIENTATION_BINS",
     "ORIENTATION_PATCH_RADIUS",
+    "OrientationGrid",
     "compute_orientation",
+    "compute_orientations",
     "discretize_orientation",
     "intensity_centroid",
     "orientation_angle",
@@ -68,11 +75,14 @@ __all__ = [
     "rs_brief_pattern",
     "rotate_descriptor_bits",
     "rotate_descriptor_bytes",
+    "descriptor_rotation_table",
     "pattern_symmetry_error",
     "RsBriefDescriptorEngine",
     "OriginalOrbDescriptorEngine",
     "make_descriptor_engine",
     "evaluate_pattern",
+    "evaluate_pattern_batch",
+    "pack_bit_matrix",
     "pack_bits",
     "unpack_bits",
     "descriptor_rotation_equivalence_error",

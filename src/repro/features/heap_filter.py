@@ -18,12 +18,33 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Generic, Iterable, List, Tuple, TypeVar
+from typing import Generic, Iterable, List, Sequence, Tuple, TypeVar
+
+import numpy as np
 
 from ..errors import FeatureError
 
 T = TypeVar("T")
+
+
+def _first_exceeding(scores: np.ndarray, start: int, threshold: float, chunk: int = 256) -> int:
+    """Index of the first score after ``start`` exceeding ``threshold``, or -1.
+
+    Scans in bounded chunks so a run of acceptances costs O(chunk) per
+    accepted item instead of re-scanning (and re-allocating an index array
+    over) the entire remaining tail each time.
+    """
+    count = scores.size
+    index = start
+    while index < count:
+        stop = min(count, index + chunk)
+        hits = scores[index:stop] > threshold
+        if hits.any():
+            return index + int(np.argmax(hits))
+        index = stop
+    return -1
 
 
 @dataclass
@@ -98,6 +119,48 @@ class BoundedScoreHeap(Generic[T]):
         """Offer every ``(score, item)`` pair in order."""
         for score, item in scored_items:
             self.offer(score, item)
+
+    def offer_batch(self, scores: np.ndarray, items: Sequence[T]) -> int:
+        """Bulk-insert a score array, preserving streaming-offer semantics.
+
+        Equivalent to calling :meth:`offer` for every ``(score, item)`` pair
+        in order — same retained set, same tie-breaking, same statistics —
+        but runs of sub-threshold scores are rejected in one vectorised scan
+        while the heap is full, instead of one Python call per feature.
+        Returns the number of retained items.
+        """
+        scores = np.asarray(scores, dtype=np.float64)
+        if scores.ndim != 1 or scores.size != len(items):
+            raise FeatureError("scores must be a 1-D array matching len(items)")
+        retained = 0
+        index = 0
+        count = scores.size
+        while index < count:
+            if not self.is_full:
+                if self.offer(float(scores[index]), items[index]):
+                    retained += 1
+                index += 1
+                continue
+            # the threshold only moves when an item is accepted, so every
+            # score <= threshold before the next beating score is a rejection
+            beating = _first_exceeding(scores, index, self._heap[0][0])
+            skipped = (count if beating < 0 else beating) - index
+            if skipped:
+                self._reject_run(skipped)
+                index += skipped
+            if beating < 0:
+                break
+            if self.offer(float(scores[index]), items[index]):
+                retained += 1
+            index += 1
+        return retained
+
+    def _reject_run(self, count: int) -> None:
+        """Account ``count`` consecutive rejections without touching the heap."""
+        # advance the tie-break counter exactly as `count` offers would have
+        deque(itertools.islice(self._counter, count), maxlen=0)
+        self.stats.rejections += count
+        self.stats.comparisons += count
 
     def items_by_score(self) -> List[T]:
         """Return retained items sorted by descending score (stable for ties)."""

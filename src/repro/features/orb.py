@@ -22,25 +22,31 @@ criterion depends only on the Harris score (which it does); tests assert
 this equivalence, and :class:`ExtractionProfile` records the operation
 counts (extra descriptors, cached candidates) that differ between them and
 feed the hardware/runtime models.
+
+The per-keypoint compute (orientation + description) is delegated to a
+pluggable :class:`~repro.backends.KeypointBackend` selected by
+``ExtractorConfig.backend``: the default ``vectorized`` backend batches whole
+pyramid levels through numpy while ``reference`` keeps the scalar
+ground-truth path; both are bit-identical (see ``docs/backends.md``).
+Candidates move through the extractor as coordinate/score arrays, and
+:class:`Feature` objects are only materialised for the retained set.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..config import ExtractorConfig
-from ..errors import FeatureError
 from ..image import GrayImage, ImagePyramid, gaussian_blur
-from .brief import DescriptorEngine, make_descriptor_engine
+from .brief import DescriptorEngine
 from .fast import fast_corner_mask
 from .harris import harris_response_map
 from .heap_filter import BoundedScoreHeap
 from .keypoint import Feature, Keypoint
 from .nms import non_maximum_suppression
-from .orientation import compute_orientation
 
 
 @dataclass
@@ -69,22 +75,56 @@ class ExtractionProfile:
 
 @dataclass
 class ExtractionResult:
-    """Features extracted from one image plus the associated profile."""
+    """Features extracted from one image plus the associated profile.
+
+    Besides the per-feature objects, the result exposes the retained set as
+    dense arrays (descriptor matrix, level-0 coordinates, scores, levels)
+    which the SLAM front-end consumes directly on its hot path; the arrays
+    are built once on first access and cached.
+    """
 
     features: List[Feature]
     profile: ExtractionProfile
+    # lazily built caches: excluded from __eq__/__repr__ so comparing or
+    # printing results never trips over ndarray truthiness
+    _descriptors: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
+    _keypoints_xy: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
+    _scores: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
+    _levels: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
 
     def descriptor_matrix(self) -> np.ndarray:
         """Return all descriptors stacked as an ``(N, 32)`` uint8 matrix."""
-        if not self.features:
-            return np.zeros((0, 32), dtype=np.uint8)
-        return np.stack([f.descriptor for f in self.features])
+        if self._descriptors is None:
+            if not self.features:
+                self._descriptors = np.zeros((0, 32), dtype=np.uint8)
+            else:
+                self._descriptors = np.stack([f.descriptor for f in self.features])
+        return self._descriptors
 
     def keypoint_array(self) -> np.ndarray:
         """Return level-0 keypoint coordinates as an ``(N, 2)`` float array."""
-        if not self.features:
-            return np.zeros((0, 2), dtype=np.float64)
-        return np.array([[f.x0, f.y0] for f in self.features], dtype=np.float64)
+        if self._keypoints_xy is None:
+            if not self.features:
+                self._keypoints_xy = np.zeros((0, 2), dtype=np.float64)
+            else:
+                self._keypoints_xy = np.array(
+                    [[f.x0, f.y0] for f in self.features], dtype=np.float64
+                )
+        return self._keypoints_xy
+
+    def score_array(self) -> np.ndarray:
+        """Harris scores of the retained features, ``(N,)`` float64."""
+        if self._scores is None:
+            self._scores = np.array([f.score for f in self.features], dtype=np.float64)
+        return self._scores
+
+    def level_array(self) -> np.ndarray:
+        """Pyramid level of each retained feature, ``(N,)`` int64."""
+        if self._levels is None:
+            self._levels = np.array(
+                [f.keypoint.level for f in self.features], dtype=np.int64
+            )
+        return self._levels
 
 
 class OrbExtractor:
@@ -94,15 +134,18 @@ class OrbExtractor:
     ----------
     config:
         Extractor configuration; ``config.use_rs_brief`` selects the
-        descriptor strategy and ``config.rescheduled_workflow`` the workflow
-        order.
+        descriptor strategy, ``config.rescheduled_workflow`` the workflow
+        order and ``config.backend`` the keypoint compute backend.
     """
 
     def __init__(self, config: ExtractorConfig | None = None) -> None:
+        # imported here (not at module scope) so that repro.features and
+        # repro.backends can be imported in either order without a cycle
+        from ..backends import create_backend
+
         self.config = config or ExtractorConfig()
-        self.descriptor_engine: DescriptorEngine = make_descriptor_engine(
-            self.config.use_rs_brief, self.config.descriptor
-        )
+        self.backend = create_backend(self.config.backend, self.config)
+        self.descriptor_engine: DescriptorEngine = self.backend.descriptor_engine
         self._border = max(
             self.config.fast.border,
             self.descriptor_engine.patch_radius() + 1,
@@ -127,77 +170,127 @@ class OrbExtractor:
     # -- per-level candidate detection --------------------------------------
     def _detect_level_candidates(
         self, level_image: GrayImage, level: int, profile: ExtractionProfile
-    ) -> List[Keypoint]:
-        """Run FAST + Harris + NMS on one pyramid level."""
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Run FAST + Harris + NMS on one pyramid level; return candidate arrays.
+
+        Returns ``(xs, ys, scores)`` of the NMS survivors that keep a full
+        descriptor border inside the level, filtered by array masking (no
+        per-survivor Python loop).
+        """
+        empty = (
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.float64),
+        )
         corner_mask = fast_corner_mask(level_image, self.config.fast)
         profile.keypoints_detected += int(corner_mask.sum())
         if not corner_mask.any():
             profile.per_level_keypoints.append(0)
-            return []
+            return empty
         scores = harris_response_map(level_image)
         survivors = non_maximum_suppression(corner_mask, scores, radius=1)
         ys, xs = np.nonzero(survivors)
-        keypoints = []
-        for x, y in zip(xs, ys):
-            x, y = int(x), int(y)
-            if not level_image.contains(x, y, border=self._border):
-                continue
-            keypoints.append(Keypoint(x=x, y=y, score=float(scores[y, x]), level=level))
-        profile.keypoints_after_nms += len(keypoints)
-        profile.per_level_keypoints.append(len(keypoints))
-        return keypoints
-
-    def _describe(self, smoothed: GrayImage, keypoint: Keypoint) -> Optional[Feature]:
-        """Compute orientation + descriptor for one keypoint."""
-        radius = self.config.descriptor.patch_radius
-        if not smoothed.contains(keypoint.x, keypoint.y, border=radius):
-            return None
-        orientation_bin, orientation_rad = compute_orientation(
-            smoothed, keypoint.x, keypoint.y, radius=radius
+        border = self._border
+        inside = (
+            (xs >= border)
+            & (xs < level_image.width - border)
+            & (ys >= border)
+            & (ys < level_image.height - border)
         )
-        oriented = keypoint.with_orientation(orientation_bin, orientation_rad)
-        descriptor = self.descriptor_engine.describe(smoothed, oriented)
-        scale = self.config.pyramid.level_scale(keypoint.level)
-        x0, y0 = oriented.level0_coordinates(scale)
-        return Feature(keypoint=oriented, descriptor=descriptor, x0=x0, y0=y0)
+        xs = xs[inside].astype(np.int64)
+        ys = ys[inside].astype(np.int64)
+        profile.keypoints_after_nms += int(xs.size)
+        profile.per_level_keypoints.append(int(xs.size))
+        if xs.size == 0:
+            return empty
+        return xs, ys, scores[ys, xs].astype(np.float64)
+
+    def _feature_from_batch(self, batch, index: int, level: int) -> Feature:
+        """Materialise one retained :class:`Feature` from a described batch."""
+        keypoint = Keypoint(
+            x=int(batch.xs[index]),
+            y=int(batch.ys[index]),
+            score=float(batch.scores[index]),
+            level=level,
+            orientation_bin=int(batch.orientation_bins[index]),
+            orientation_rad=float(batch.orientation_rads[index]),
+        )
+        scale = self.config.pyramid.level_scale(level)
+        x0, y0 = keypoint.level0_coordinates(scale)
+        return Feature(
+            keypoint=keypoint, descriptor=batch.descriptors[index], x0=x0, y0=y0
+        )
 
     # -- the two workflow orders --------------------------------------------
     def _extract_rescheduled(
         self, pyramid: ImagePyramid, profile: ExtractionProfile
     ) -> List[Feature]:
-        """eSLAM order: describe every detected keypoint, then heap-filter."""
-        heap: BoundedScoreHeap[Feature] = BoundedScoreHeap(self.config.max_features)
+        """eSLAM order: describe every detected keypoint, then heap-filter.
+
+        Each level's candidates are described as one batch by the backend and
+        bulk-inserted into the heap; only the retained winners become
+        :class:`Feature` objects.
+        """
+        heap: BoundedScoreHeap[Tuple[int, int]] = BoundedScoreHeap(self.config.max_features)
+        batches: List[Tuple[int, object]] = []
         for level in pyramid:
             smoothed = gaussian_blur(level.image)
-            for keypoint in self._detect_level_candidates(level.image, level.level, profile):
-                feature = self._describe(smoothed, keypoint)
-                if feature is None:
-                    continue
-                profile.descriptors_computed += 1
-                heap.offer(feature.score, feature)
+            xs, ys, scores = self._detect_level_candidates(level.image, level.level, profile)
+            if xs.size == 0:
+                continue
+            batch = self.backend.describe(smoothed, xs, ys, scores)
+            if batch.size == 0:
+                continue
+            profile.descriptors_computed += batch.size
+            batch_index = len(batches)
+            batches.append((level.level, batch))
+            heap.offer_batch(
+                batch.scores, [(batch_index, row) for row in range(batch.size)]
+            )
         profile.heap_comparisons = heap.stats.comparisons
-        return heap.items_by_score()
+        features: List[Feature] = []
+        for batch_index, row in heap.items_by_score():
+            level, batch = batches[batch_index]
+            features.append(self._feature_from_batch(batch, row, level))
+        return features
 
     def _extract_original(
         self, pyramid: ImagePyramid, profile: ExtractionProfile
     ) -> List[Feature]:
         """Original order: collect all keypoints, filter to best N, then describe."""
-        candidates: List[tuple[Keypoint, GrayImage]] = []
+        level_data = []
         for level in pyramid:
             smoothed = gaussian_blur(level.image)
-            for keypoint in self._detect_level_candidates(level.image, level.level, profile):
-                candidates.append((keypoint, smoothed))
-        candidates.sort(key=lambda item: -item[0].score)
-        retained = candidates[: self.config.max_features]
-        features: List[Feature] = []
-        for keypoint, smoothed in retained:
-            feature = self._describe(smoothed, keypoint)
-            if feature is None:
+            xs, ys, scores = self._detect_level_candidates(level.image, level.level, profile)
+            level_data.append((level.level, smoothed, xs, ys, scores))
+        all_scores = np.concatenate([entry[4] for entry in level_data])
+        if all_scores.size == 0:
+            return []
+        level_ids = np.concatenate(
+            [np.full(entry[4].size, index, dtype=np.int64) for index, entry in enumerate(level_data)]
+        )
+        local_indices = np.concatenate(
+            [np.arange(entry[4].size, dtype=np.int64) for entry in level_data]
+        )
+        # global best-N filter: stable sort matches the streaming tie-breaking
+        order = np.argsort(-all_scores, kind="stable")
+        retained = order[: self.config.max_features]
+        # describe the retained candidates level by level (one batch each) and
+        # scatter the results back into score-rank order
+        by_rank: List[Optional[Feature]] = [None] * int(retained.size)
+        for index, (level, smoothed, xs, ys, scores) in enumerate(level_data):
+            member_ranks = np.nonzero(level_ids[retained] == index)[0]
+            if member_ranks.size == 0:
                 continue
-            profile.descriptors_computed += 1
-            features.append(feature)
-        features.sort(key=lambda f: -f.score)
-        return features
+            selection = local_indices[retained[member_ranks]]
+            batch = self.backend.describe(
+                smoothed, xs[selection], ys[selection], scores[selection]
+            )
+            profile.descriptors_computed += batch.size
+            for row in range(batch.size):
+                rank = int(member_ranks[int(batch.kept[row])])
+                by_rank[rank] = self._feature_from_batch(batch, row, level)
+        return [feature for feature in by_rank if feature is not None]
 
 
 def extract_features(image: GrayImage, config: ExtractorConfig | None = None) -> ExtractionResult:
@@ -217,30 +310,8 @@ def check_workflow_equivalence(
     ``(level, x, y)`` sets; 0 means the workflows agree exactly.
     """
     cfg = config or ExtractorConfig()
-    rescheduled = OrbExtractor(
-        ExtractorConfig(
-            image_width=cfg.image_width,
-            image_height=cfg.image_height,
-            pyramid=cfg.pyramid,
-            fast=cfg.fast,
-            descriptor=cfg.descriptor,
-            max_features=cfg.max_features,
-            use_rs_brief=cfg.use_rs_brief,
-            rescheduled_workflow=True,
-        )
-    ).extract(image)
-    original = OrbExtractor(
-        ExtractorConfig(
-            image_width=cfg.image_width,
-            image_height=cfg.image_height,
-            pyramid=cfg.pyramid,
-            fast=cfg.fast,
-            descriptor=cfg.descriptor,
-            max_features=cfg.max_features,
-            use_rs_brief=cfg.use_rs_brief,
-            rescheduled_workflow=False,
-        )
-    ).extract(image)
+    rescheduled = OrbExtractor(replace(cfg, rescheduled_workflow=True)).extract(image)
+    original = OrbExtractor(replace(cfg, rescheduled_workflow=False)).extract(image)
     keys_a = {(f.keypoint.level, f.keypoint.x, f.keypoint.y) for f in rescheduled.features}
     keys_b = {(f.keypoint.level, f.keypoint.x, f.keypoint.y) for f in original.features}
     return len(keys_a.symmetric_difference(keys_b))

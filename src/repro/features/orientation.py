@@ -10,11 +10,21 @@ The hardware Orientation Computing module avoids a full ``atan2`` by using a
 lookup table on ``v/u`` together with the signs of ``u`` and ``v``; the
 functionally equivalent :func:`discretize_orientation` is used both here and
 by the hardware model.
+
+Two call styles are provided.  :func:`compute_orientation` is the scalar
+per-keypoint path (the reference backend).  :func:`compute_orientations`
+processes a whole array of keypoints at once by gathering every patch in a
+single fancy-indexing pass and reducing all centroids together; the
+:class:`OrientationGrid` caches the circular-mask and coordinate tables so a
+long-lived compute engine never rebuilds them.  Both paths perform the exact
+same float64 operations in the same order and therefore produce bit-identical
+orientations (asserted by the backend parity tests).
 """
 
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import Tuple
 
 import numpy as np
@@ -58,8 +68,13 @@ def intensity_centroid(patch: np.ndarray, mask: np.ndarray | None = None) -> Tup
 
 
 def orientation_angle(u: float, v: float) -> float:
-    """Return the orientation angle in ``[0, 2*pi)`` from centroid offsets."""
-    angle = math.atan2(v, u)
+    """Return the orientation angle in ``[0, 2*pi)`` from centroid offsets.
+
+    Uses ``np.arctan2`` (not ``math.atan2``) so the scalar path shares the
+    exact libm kernel of the batched path — the two differ by one ulp on some
+    inputs, which would break the bit-exact backend parity guarantee.
+    """
+    angle = float(np.arctan2(v, u))
     if angle < 0:
         angle += 2.0 * math.pi
     return angle
@@ -124,3 +139,118 @@ def compute_orientation(
     u, v = intensity_centroid(patch)
     angle = orientation_angle(u, v)
     return discretize_orientation(angle, num_bins), angle
+
+
+@dataclass(frozen=True)
+class OrientationGrid:
+    """Precomputed circular-mask / coordinate tables for batched orientation.
+
+    Building the mask and the ``xx`` / ``yy`` coordinate grids once per engine
+    (instead of once per keypoint) is what makes the batched centroid a pure
+    gather + reduce.  The tables are stored flattened in raster (C) order so
+    the per-keypoint reduction visits patch pixels in exactly the order the
+    scalar path does; ``mask_flat`` is kept as float64 ``0.0 / 1.0`` weights
+    because ``uint8 * float64`` produces the same products as the scalar
+    path's ``float64 * bool`` without materialising a float patch first.
+    ``offsets_y`` / ``offsets_x`` are the ``(P, P)`` integer patch offsets
+    (``flat_offsets`` is their row-major flattening against an image stride,
+    see :func:`compute_orientations`).
+    """
+
+    radius: int
+    mask: np.ndarray
+    mask_flat: np.ndarray
+    xx_flat: np.ndarray
+    yy_flat: np.ndarray
+    offsets_y: np.ndarray
+    offsets_x: np.ndarray
+
+    @classmethod
+    def build(cls, radius: int) -> "OrientationGrid":
+        if radius < 0:
+            raise FeatureError("radius must be non-negative")
+        mask = circular_mask(radius)
+        coords = np.arange(-radius, radius + 1, dtype=np.float64)
+        yy, xx = np.meshgrid(coords, coords, indexing="ij")
+        icoords = np.arange(-radius, radius + 1, dtype=np.int64)
+        offsets_y, offsets_x = np.meshgrid(icoords, icoords, indexing="ij")
+        return cls(
+            radius=radius,
+            mask=mask,
+            mask_flat=mask.ravel().astype(np.float64),
+            xx_flat=(xx * mask).ravel(),
+            yy_flat=(yy * mask).ravel(),
+            offsets_y=offsets_y,
+            offsets_x=offsets_x,
+        )
+
+    def flat_offsets(self, row_stride: int) -> np.ndarray:
+        """Patch offsets as flat indices into an image with ``row_stride`` columns."""
+        return (self.offsets_y * row_stride + self.offsets_x).ravel()
+
+
+def compute_orientations(
+    image: GrayImage,
+    xs: np.ndarray,
+    ys: np.ndarray,
+    radius: int = ORIENTATION_PATCH_RADIUS,
+    num_bins: int = NUM_ORIENTATION_BINS,
+    grid: OrientationGrid | None = None,
+    chunk_size: int = 2048,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Batched :func:`compute_orientation` for keypoint arrays.
+
+    Gathers the ``(K, P, P)`` patch stack with one fancy-indexing pass per
+    chunk and reduces every intensity centroid together.  All keypoints must
+    satisfy ``image.contains(x, y, border=radius)``; the caller (the compute
+    backend) filters borders beforehand.  Returns ``(bins, angles)`` arrays of
+    shape ``(K,)`` that are bit-identical to the scalar path.
+    """
+    if num_bins <= 0:
+        raise FeatureError("num_bins must be positive")
+    xs = np.asarray(xs, dtype=np.int64)
+    ys = np.asarray(ys, dtype=np.int64)
+    if xs.shape != ys.shape or xs.ndim != 1:
+        raise FeatureError("xs and ys must be matching 1-D arrays")
+    if grid is None or grid.radius != radius:
+        grid = OrientationGrid.build(radius)
+    count = xs.size
+    bins = np.zeros(count, dtype=np.int64)
+    angles = np.zeros(count, dtype=np.float64)
+    if count == 0:
+        return bins, angles
+    # flat indexing would silently wrap out-of-bounds patches; fail loudly
+    # like the scalar image.patch does instead
+    if (
+        int(xs.min()) < radius
+        or int(xs.max()) >= image.width - radius
+        or int(ys.min()) < radius
+        or int(ys.max()) >= image.height - radius
+    ):
+        raise FeatureError(
+            f"orientation patch of radius {radius} exceeds image bounds for some keypoints"
+        )
+    pixels = np.ascontiguousarray(image.pixels)
+    flat_pixels = pixels.reshape(-1)
+    flat_offsets = grid.flat_offsets(pixels.shape[1])
+    centers = ys * pixels.shape[1] + xs
+    two_pi = 2.0 * math.pi
+    bin_width = two_pi / num_bins
+    for start in range(0, count, max(1, chunk_size)):
+        stop = min(count, start + max(1, chunk_size))
+        # one gather for the whole chunk's patches, flattened in raster order
+        # so the per-keypoint reductions run in the scalar path's pixel order
+        patches = flat_pixels[centers[start:stop, None] + flat_offsets[None, :]]
+        weights = patches * grid.mask_flat
+        totals = weights.sum(axis=1)
+        wx = (weights * grid.xx_flat).sum(axis=1)
+        wy = (weights * grid.yy_flat).sum(axis=1)
+        safe = totals > 0
+        denom = np.where(safe, totals, 1.0)
+        u = np.where(safe, wx / denom, 0.0)
+        v = np.where(safe, wy / denom, 0.0)
+        angle = np.arctan2(v, u)
+        angle = np.where(angle < 0, angle + two_pi, angle)
+        angles[start:stop] = angle
+        bins[start:stop] = np.rint(np.mod(angle, two_pi) / bin_width).astype(np.int64) % num_bins
+    return bins, angles

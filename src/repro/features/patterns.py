@@ -166,6 +166,28 @@ class RotatedPatternLUT:
             raise DescriptorError(f"index {index} outside [0, {self.num_angles})")
         return self._patterns[index]
 
+    def rounded_stack(self) -> Tuple[np.ndarray, np.ndarray]:
+        """All pre-rotated patterns as ``(num_angles, num_bits, 2)`` int arrays.
+
+        This is the batch-gather view of the LUT: the vectorized compute
+        backend indexes it with a per-keypoint angle index to evaluate every
+        keypoint's rotated pattern in a single fancy-indexing pass.  Built
+        lazily and cached, mirroring the on-chip ROM the hardware keeps.
+        """
+        cached = getattr(self, "_rounded_stack", None)
+        if cached is None:
+            s_stack = np.stack([p.rounded()[0] for p in self._patterns])
+            d_stack = np.stack([p.rounded()[1] for p in self._patterns])
+            cached = (s_stack, d_stack)
+            self._rounded_stack = cached
+        return cached
+
+    def angle_indices(self, angles_rad: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`angle_index` for an array of angles."""
+        two_pi = 2.0 * math.pi
+        angles = np.mod(np.asarray(angles_rad, dtype=np.float64), two_pi)
+        return np.rint(angles / (two_pi / self.num_angles)).astype(np.int64) % self.num_angles
+
     def storage_locations(self) -> int:
         """Total number of (x, y) locations the LUT must store on chip."""
         return self.num_angles * 2 * self.base_pattern.num_bits

@@ -128,6 +128,22 @@ def rotate_descriptor_bytes(descriptor: np.ndarray, orientation_bin: int) -> np.
     return np.roll(descriptor, -shift)
 
 
+def descriptor_rotation_table(num_bytes: int, num_bins: int) -> np.ndarray:
+    """Byte-gather table realising :func:`rotate_descriptor_bytes` for batches.
+
+    Row ``b`` holds the source byte index for every output byte of a
+    descriptor rotated by orientation bin ``b``:
+    ``rotated[i] = descriptor[table[b, i]]``.  Applying the BRIEF Rotator to a
+    whole ``(K, num_bytes)`` descriptor block is then a single
+    ``take_along_axis`` with ``table[bins]`` — the batched equivalent of the
+    hardware barrel shifter.
+    """
+    if num_bytes <= 0 or num_bins <= 0:
+        raise DescriptorError("num_bytes and num_bins must be positive")
+    shifts = np.arange(num_bins, dtype=np.int64) % num_bytes
+    return (np.arange(num_bytes, dtype=np.int64)[None, :] + shifts[:, None]) % num_bytes
+
+
 def pattern_symmetry_error(pattern: BriefPattern, symmetry: int, seed_pairs: int) -> float:
     """Measure how far ``pattern`` is from exact ``symmetry``-fold symmetry.
 

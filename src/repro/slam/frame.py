@@ -41,6 +41,9 @@ class Frame:
         self.depth = depth
 
     # -- feature helpers -------------------------------------------------
+    # The matrix/array accessors below are the SLAM hot path: they hand the
+    # extraction result's cached arrays straight to matching / RANSAC / map
+    # updating instead of rebuilding them from per-feature objects each call.
     def set_features(self, extraction: ExtractionResult) -> None:
         """Attach the result of ORB extraction to this frame."""
         self.extraction = extraction
@@ -48,12 +51,16 @@ class Frame:
 
     def descriptor_matrix(self) -> np.ndarray:
         """Stack feature descriptors as an ``(N, 32)`` uint8 matrix."""
+        if self.extraction is not None and len(self.extraction.features) == len(self.features):
+            return self.extraction.descriptor_matrix()
         if not self.features:
             return np.zeros((0, 32), dtype=np.uint8)
         return np.stack([f.descriptor for f in self.features])
 
     def keypoint_pixels(self) -> np.ndarray:
         """Level-0 pixel coordinates of all features, ``(N, 2)``."""
+        if self.extraction is not None and len(self.extraction.features) == len(self.features):
+            return self.extraction.keypoint_array()
         if not self.features:
             return np.zeros((0, 2), dtype=np.float64)
         return np.array([[f.x0, f.y0] for f in self.features], dtype=np.float64)
@@ -69,10 +76,17 @@ class Frame:
         return float(self.depth[y, x])
 
     def feature_depths(self) -> np.ndarray:
-        """Depths for all features (``0`` marks invalid depth)."""
-        return np.array(
-            [self.feature_depth(i) for i in range(len(self.features))], dtype=np.float64
-        )
+        """Depths for all features (``0`` marks invalid depth), vectorised."""
+        pixels = self.keypoint_pixels()
+        if pixels.shape[0] == 0:
+            return np.zeros(0, dtype=np.float64)
+        xs = np.rint(pixels[:, 0]).astype(np.int64)
+        ys = np.rint(pixels[:, 1]).astype(np.int64)
+        height, width = self.depth.shape
+        valid = (xs >= 0) & (xs < width) & (ys >= 0) & (ys < height)
+        depths = np.zeros(pixels.shape[0], dtype=np.float64)
+        depths[valid] = self.depth[ys[valid], xs[valid]]
+        return depths
 
     # -- geometry helpers --------------------------------------------------
     def back_project_feature(self, feature_index: int) -> Optional[np.ndarray]:

@@ -76,11 +76,17 @@ class SlamRunResult:
 
 
 class SlamSystem:
-    """Runs the full ORB-SLAM pipeline over RGB-D frames."""
+    """Runs the full ORB-SLAM pipeline over RGB-D frames.
 
-    def __init__(self, config: SlamConfig | None = None) -> None:
+    An already-built extractor (with its keypoint compute backend and
+    precomputed pattern tables) can be injected so many systems — e.g. the
+    sequence sweeps run by :class:`repro.analysis.experiments.BatchRunner` —
+    share one engine instead of rebuilding tables per run.
+    """
+
+    def __init__(self, config: SlamConfig | None = None, extractor=None) -> None:
         self.config = config or SlamConfig()
-        self.tracker = Tracker(self.config)
+        self.tracker = Tracker(self.config, extractor=extractor)
 
     def process_frame(self, rgbd_frame: RgbdFrame, camera) -> TrackingResult:
         """Process a single RGB-D frame (lower-level entry point)."""

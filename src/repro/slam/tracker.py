@@ -72,11 +72,31 @@ class TrackingResult:
 
 
 class Tracker:
-    """RGB-D frame-to-map tracker implementing the eSLAM pipeline stages."""
+    """RGB-D frame-to-map tracker implementing the eSLAM pipeline stages.
 
-    def __init__(self, config: SlamConfig | None = None) -> None:
+    Parameters
+    ----------
+    config:
+        SLAM configuration (extractor, matcher, tracker sections).
+    extractor:
+        Optional pre-built :class:`OrbExtractor` to reuse.  Batch drivers
+        (:class:`repro.analysis.experiments.BatchRunner`) share one extractor
+        — and therefore one keypoint compute backend with its precomputed
+        pattern tables — across many sequences; its configuration must match
+        ``config.extractor``.
+    """
+
+    def __init__(
+        self,
+        config: SlamConfig | None = None,
+        extractor: OrbExtractor | None = None,
+    ) -> None:
         self.config = config or SlamConfig()
-        self.extractor = OrbExtractor(self.config.extractor)
+        if extractor is not None and extractor.config != self.config.extractor:
+            raise TrackingError(
+                "injected extractor configuration does not match config.extractor"
+            )
+        self.extractor = extractor or OrbExtractor(self.config.extractor)
         self.matcher = BruteForceMatcher(self.config.matcher)
         self.map = GlobalMap(max_points=self.config.tracker.max_map_points)
         self.keyframe_policy = KeyframePolicy(self.config.tracker)
@@ -241,22 +261,31 @@ class Tracker:
         return matched_ids
 
     def _update_map(self, frame: Frame, matched_feature_indices: set[int]) -> MapUpdateStats:
-        """Key-frame map update: add new points, cull stale ones."""
+        """Key-frame map update: add new points, cull stale ones.
+
+        Operates on the frame's feature arrays: unmatched features with valid
+        depth are back-projected and transformed to world coordinates in one
+        batch instead of one Python call chain per feature.
+        """
         if frame.pose is None:
             raise TrackingError("frame pose must be set before map updating")
         stats = MapUpdateStats()
-        positions = []
-        descriptors = []
-        for index, feature in enumerate(frame.features):
-            if index in matched_feature_indices:
-                continue
-            depth = frame.feature_depth(index)
-            if depth <= 0:
-                continue
-            point_cam = frame.camera.back_project(feature.x0, feature.y0, depth)
-            positions.append(frame.pose.inverse().transform(point_cam))
-            descriptors.append(feature.descriptor)
-        created = self.map.add_points(positions, descriptors, frame.index)
+        depths = frame.feature_depths()
+        candidates = depths > 0
+        if matched_feature_indices:
+            matched = np.fromiter(matched_feature_indices, dtype=np.int64)
+            candidates[matched[matched < candidates.size]] = False
+        selected = np.nonzero(candidates)[0]
+        if selected.size:
+            pixels = frame.keypoint_pixels()[selected]
+            points_cam = frame.camera.back_project_many(pixels, depths[selected])
+            points_world = frame.pose.inverse().transform(points_cam)
+            descriptor_rows = frame.descriptor_matrix()[selected]
+            created = self.map.add_points(
+                list(points_world), list(descriptor_rows), frame.index
+            )
+        else:
+            created = []
         stats.points_added = len(created)
         stats.points_deleted = self.map.cull(
             frame.index, self.config.tracker.map_point_ttl_frames

@@ -79,6 +79,58 @@ class TestExtractorConfig:
         assert flipped.max_features == config.max_features
         assert config.use_rs_brief is True
 
+    def test_default_backend_is_vectorized(self):
+        assert ExtractorConfig().backend == "vectorized"
+
+    def test_with_backend_flips_only_the_backend(self):
+        config = ExtractorConfig().with_backend("reference")
+        assert config.backend == "reference"
+        assert config.max_features == ExtractorConfig().max_features
+
+    def test_rejects_non_positive_max_features(self):
+        with pytest.raises(ValueError):
+            ExtractorConfig(max_features=0)
+        with pytest.raises(ValueError):
+            ExtractorConfig(max_features=-5)
+
+    def test_rejects_non_positive_image_dimensions(self):
+        with pytest.raises(ValueError):
+            ExtractorConfig(image_width=0)
+        with pytest.raises(ValueError):
+            ExtractorConfig(image_height=-1)
+
+    def test_rejects_empty_backend_name(self):
+        with pytest.raises(ValueError):
+            ExtractorConfig(backend="")
+
+
+class TestMatcherConfig:
+    def test_defaults_valid(self):
+        from repro.config import MatcherConfig
+
+        config = MatcherConfig()
+        assert config.max_hamming_distance == 64
+        assert 0 < config.ratio_threshold <= 1
+
+    def test_rejects_negative_max_distance(self):
+        from repro.config import MatcherConfig
+
+        with pytest.raises(ValueError):
+            MatcherConfig(max_hamming_distance=-1)
+
+    def test_rejects_ratio_outside_unit_interval(self):
+        from repro.config import MatcherConfig
+
+        with pytest.raises(ValueError):
+            MatcherConfig(ratio_threshold=0.0)
+        with pytest.raises(ValueError):
+            MatcherConfig(ratio_threshold=1.5)
+
+    def test_ratio_of_exactly_one_allowed(self):
+        from repro.config import MatcherConfig
+
+        assert MatcherConfig(ratio_threshold=1.0).ratio_threshold == 1.0
+
 
 class TestAcceleratorConfig:
     def test_clock_matches_paper(self):
