@@ -9,6 +9,13 @@ ORB-SLAM on FPGA Platform" (Liu, Yang, Chen, Zhao -- DAC 2019):
 * :mod:`repro.backends` -- pluggable keypoint compute engines behind the
   extractor: the scalar ``reference`` path and the batched ``vectorized``
   default (bit-identical, registry-selected; see ``docs/backends.md``).
+* :mod:`repro.frontend` -- pluggable detection front-end engines (FAST +
+  Harris + NMS + smoothing): the dense per-stage ``reference`` path and the
+  fused arc-LUT/sparse-Harris ``vectorized`` default (bit-identical; see
+  ``docs/frontend.md``).
+* :mod:`repro.serving` -- the :class:`~repro.serving.FrameServer`: many
+  frames in flight through one shared engine/backend pair on a bounded
+  thread pool.
 * :mod:`repro.matching`, :mod:`repro.geometry`, :mod:`repro.optimization`,
   :mod:`repro.slam` -- the software SLAM pipeline (matching, PnP + RANSAC,
   Levenberg-Marquardt pose optimisation, mapping, evaluation).

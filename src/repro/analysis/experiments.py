@@ -271,13 +271,14 @@ class BatchRunner:
     def __post_init__(self) -> None:
         self.extractor = OrbExtractor(self.config.extractor)
 
-    def run_sequence(
+    def _build_record(
         self,
         spec: SequenceSpec,
-        tracker: Optional[TrackerConfig] = None,
-        label: str = "default",
+        tracker: Optional[TrackerConfig],
+        label: str,
+        frame_server=None,
     ) -> BatchRunRecord:
-        """Run SLAM over one synthetic sequence with the shared engine."""
+        """Run one sequence through the shared engine; no record bookkeeping."""
         if (spec.image_width, spec.image_height) != (
             self.config.extractor.image_width,
             self.config.extractor.image_height,
@@ -289,11 +290,11 @@ class BatchRunner:
         config = self.config if tracker is None else replace(self.config, tracker=tracker)
         sequence = make_sequence(spec)
         result = SlamSystem(config, extractor=self.extractor).run(
-            sequence, max_frames=self.max_frames
+            sequence, max_frames=self.max_frames, frame_server=frame_server
         )
         ate = result.ate()
         workload = result.mean_workload()
-        record = BatchRunRecord(
+        return BatchRunRecord(
             sequence=spec.name,
             tracker_label=label,
             num_frames=result.num_frames,
@@ -303,6 +304,21 @@ class BatchRunner:
             features_per_frame=workload.get("features_retained", 0.0),
             descriptors_computed=workload.get("descriptors_computed", 0.0),
         )
+
+    def run_sequence(
+        self,
+        spec: SequenceSpec,
+        tracker: Optional[TrackerConfig] = None,
+        label: str = "default",
+        frame_server=None,
+    ) -> BatchRunRecord:
+        """Run SLAM over one synthetic sequence with the shared engine.
+
+        ``frame_server`` optionally pipelines per-frame extraction through a
+        :class:`repro.serving.FrameServer` (many frames in flight, identical
+        results).
+        """
+        record = self._build_record(spec, tracker, label, frame_server=frame_server)
         self.records.append(record)
         return record
 
@@ -311,9 +327,50 @@ class BatchRunner:
         specs: Sequence[SequenceSpec],
         tracker: Optional[TrackerConfig] = None,
         label: str = "default",
+        frame_server=None,
     ) -> List[BatchRunRecord]:
         """Run every spec through the shared engine; returns the new records."""
-        return [self.run_sequence(spec, tracker=tracker, label=label) for spec in specs]
+        return [
+            self.run_sequence(spec, tracker=tracker, label=label, frame_server=frame_server)
+            for spec in specs
+        ]
+
+    def run_all_parallel(
+        self,
+        specs: Sequence[SequenceSpec],
+        tracker: Optional[TrackerConfig] = None,
+        label: str = "default",
+        max_workers: Optional[int] = None,
+    ) -> List[BatchRunRecord]:
+        """Run the specs concurrently, every sequence on the ONE shared engine.
+
+        Sequences are independent SLAM runs, the extractor is stateless
+        across frames (thread-local scratch only), and numpy releases the
+        GIL inside its kernels, so a small thread pool overlaps the
+        per-sequence work.  Records are appended in spec order, so the
+        result — like each individual run — is identical to the sequential
+        sweep.
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        if max_workers is not None and max_workers <= 0:
+            raise ReproError("max_workers must be positive")
+        workers = max_workers if max_workers is not None else min(4, max(1, len(specs)))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(self._build_record, spec, tracker, label) for spec in specs
+            ]
+            records, first_error = [], None
+            for future in futures:
+                try:
+                    records.append(future.result())
+                except Exception as error:  # keep completed runs, like run_all
+                    if first_error is None:
+                        first_error = error
+        self.records.extend(records)
+        if first_error is not None:
+            raise first_error
+        return records
 
     def summary(self) -> Dict[str, object]:
         """Aggregate view over all runs performed so far."""

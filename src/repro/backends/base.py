@@ -17,19 +17,27 @@ parameterised-compute-unit-registry idiom as the hardware simulator: the
 configuration names the backend (``ExtractorConfig.backend``) and
 :func:`create_backend` resolves it.  Third parties can register additional
 backends (e.g. a GPU or fixed-point engine) without touching the extractor.
+
+The full-frame half of the extractor — FAST + Harris + NMS + smoothing — is
+served by the sibling detection-engine registry in :mod:`repro.frontend`
+(``ExtractorConfig.frontend``), which follows this same pattern and the
+same bit-exactness contract.  A backend instance must stay thread-safe
+across concurrent ``describe`` calls (precomputed tables only, no mutable
+per-call state) so that one instance can serve many frames in flight
+through :class:`repro.serving.FrameServer`.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Callable, ClassVar, Dict, List, Type
+from typing import Callable, ClassVar, List, Type
 
 import numpy as np
 
 from ..config import ExtractorConfig
-from ..errors import FeatureError
-from ..image import GrayImage
+from ..image import GrayImage, within_border
+from ..registry import ClassRegistry
 
 
 @dataclass(frozen=True)
@@ -96,13 +104,7 @@ class KeypointBackend(ABC):
         Mirrors the scalar path's ``image.contains(x, y, border=radius)``
         check with ``radius = descriptor.patch_radius``.
         """
-        radius = self.config.descriptor.patch_radius
-        return (
-            (xs >= radius)
-            & (xs < image.width - radius)
-            & (ys >= radius)
-            & (ys < image.height - radius)
-        )
+        return within_border(xs, ys, image.shape, self.config.descriptor.patch_radius)
 
     @abstractmethod
     def describe(
@@ -119,31 +121,19 @@ class KeypointBackend(ABC):
         """
 
 
-_REGISTRY: Dict[str, Type[KeypointBackend]] = {}
+_REGISTRY: ClassRegistry[KeypointBackend] = ClassRegistry("keypoint backend")
 
 
 def register_backend(name: str) -> Callable[[Type[KeypointBackend]], Type[KeypointBackend]]:
     """Class decorator registering a backend under ``name``."""
-
-    def decorator(cls: Type[KeypointBackend]) -> Type[KeypointBackend]:
-        if name in _REGISTRY:
-            raise FeatureError(f"backend {name!r} is already registered")
-        cls.name = name
-        _REGISTRY[name] = cls
-        return cls
-
-    return decorator
+    return _REGISTRY.register(name)
 
 
 def available_backends() -> List[str]:
     """Names of all registered backends, sorted."""
-    return sorted(_REGISTRY)
+    return _REGISTRY.names()
 
 
 def create_backend(name: str, config: ExtractorConfig | None = None) -> KeypointBackend:
     """Instantiate the backend registered under ``name``."""
-    if name not in _REGISTRY:
-        raise FeatureError(
-            f"unknown keypoint backend {name!r}; available: {', '.join(available_backends())}"
-        )
-    return _REGISTRY[name](config or ExtractorConfig())
+    return _REGISTRY.create(name, config or ExtractorConfig())

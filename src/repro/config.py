@@ -76,6 +76,11 @@ class ExtractorConfig:
     and description hot path: ``"vectorized"`` (default) batches whole pyramid
     levels through numpy, ``"reference"`` keeps the bit-exact per-keypoint
     scalar path.  See :mod:`repro.backends`.
+
+    ``frontend`` selects the detection front-end engine (FAST + Harris + NMS
+    + smoothing): ``"vectorized"`` (default) runs the fused arc-LUT /
+    sparse-Harris pass, ``"reference"`` keeps the dense per-stage ground
+    truth.  See :mod:`repro.frontend`.
     """
 
     image_width: int = 640
@@ -87,6 +92,7 @@ class ExtractorConfig:
     use_rs_brief: bool = True
     rescheduled_workflow: bool = True
     backend: str = "vectorized"
+    frontend: str = "vectorized"
 
     def __post_init__(self) -> None:
         if self.max_features <= 0:
@@ -95,6 +101,8 @@ class ExtractorConfig:
             raise ValueError("image dimensions must be positive")
         if not isinstance(self.backend, str) or not self.backend:
             raise ValueError("backend must be a non-empty backend name")
+        if not isinstance(self.frontend, str) or not self.frontend:
+            raise ValueError("frontend must be a non-empty detection engine name")
 
     @property
     def image_shape(self) -> Tuple[int, int]:
@@ -107,6 +115,10 @@ class ExtractorConfig:
     def with_backend(self, backend: str) -> "ExtractorConfig":
         """Return a copy of this configuration with a different compute backend."""
         return replace(self, backend=backend)
+
+    def with_frontend(self, frontend: str) -> "ExtractorConfig":
+        """Return a copy of this configuration with a different detection engine."""
+        return replace(self, frontend=frontend)
 
 
 @dataclass(frozen=True)

@@ -15,6 +15,7 @@ same circle offsets for its per-window functional check.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import List, Tuple
 
 import numpy as np
@@ -47,6 +48,62 @@ def _circular_arc_mask(flags: np.ndarray, arc_length: int) -> np.ndarray:
     for i in range(1, doubled.shape[0]):
         run[i] = doubled[i] * (run[i - 1] + 1)
     return (run >= arc_length).any(axis=0)
+
+
+@lru_cache(maxsize=None)
+def segment_arc_lut(arc_length: int) -> np.ndarray:
+    """Lookup table resolving the segment test for every 16-bit ring bitmask.
+
+    Entry ``m`` is True when the 16 flag bits of ``m`` (bit ``i`` = circle
+    position ``i``, the :data:`FAST_CIRCLE_OFFSETS` order) contain a
+    wrap-around run of at least ``arc_length`` set bits — the same
+    computation :func:`_circular_arc_mask` performs per pixel, precomputed
+    once for all 65536 masks.  This is exactly the combinational
+    contiguous-arc check the hardware FAST Detection module evaluates on its
+    7x7 window.  The returned array is cached and read-only.
+    """
+    if not 1 <= arc_length <= 16:
+        raise FeatureError("arc_length must be in [1, 16]")
+    masks = np.arange(1 << 16, dtype=np.uint32)
+    bits = ((masks[:, None] >> np.arange(16, dtype=np.uint32)) & 1).astype(np.int32)
+    doubled = np.concatenate([bits, bits[:, : arc_length - 1]], axis=1)
+    run = np.zeros(masks.size, dtype=np.int32)
+    has_arc = np.zeros(masks.size, dtype=bool)
+    for position in range(doubled.shape[1]):
+        run = doubled[:, position] * (run + 1)
+        has_arc |= run >= arc_length
+    has_arc.setflags(write=False)
+    return has_arc
+
+
+#: Indices of the four compass points (top, right, bottom, left) on the ring.
+FAST_CARDINAL_POSITIONS: Tuple[int, int, int, int] = (0, 4, 8, 12)
+
+
+@lru_cache(maxsize=None)
+def cardinal_prefilter_lut(arc_length: int) -> np.ndarray:
+    """16-entry necessary-condition LUT over the four compass-point flags.
+
+    Entry ``p`` (bit ``j`` = flag at :data:`FAST_CARDINAL_POSITIONS`\\ ``[j]``)
+    is True iff *some* full ring mask with exactly those compass flags passes
+    the segment test.  Because the arc test is monotone in set bits, that is
+    the mask with every non-compass bit set — so a False entry proves no
+    pixel with that compass pattern can be a corner, and the full 16-pixel
+    test only needs to run on the (typically few percent of) pixels whose
+    brighter or darker compass pattern survives.  This mirrors the classic
+    FAST high-speed test, generalised to any ``arc_length`` via
+    :func:`segment_arc_lut`.
+    """
+    arc = segment_arc_lut(arc_length)
+    quick = np.zeros(16, dtype=bool)
+    for pattern in range(16):
+        mask = 0xFFFF
+        for bit, position in enumerate(FAST_CARDINAL_POSITIONS):
+            if not (pattern >> bit) & 1:
+                mask &= ~(1 << position)
+        quick[pattern] = bool(arc[mask])
+    quick.setflags(write=False)
+    return quick
 
 
 def fast_corner_mask(image: GrayImage, config: FastConfig | None = None) -> np.ndarray:
@@ -105,18 +162,31 @@ def is_fast_corner(image: GrayImage, x: int, y: int, config: FastConfig | None =
     return has_arc(brighter) or has_arc(darker)
 
 
-def detect_fast_keypoints(
+def detect_fast_keypoints_arrays(
     image: GrayImage, config: FastConfig | None = None
-) -> List[Tuple[int, int]]:
-    """Return ``(x, y)`` coordinates of all FAST corners in raster order.
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(xs, ys)`` int64 arrays of all FAST corners in raster order.
 
     Raster (row-major) order matches the streaming order in which the
     hardware detects keypoints, which in turn determines heap insertion
-    order in the rescheduled workflow.
+    order in the rescheduled workflow.  This is the array-native entry point
+    used on hot paths; :func:`detect_fast_keypoints` wraps it for callers
+    that want Python tuples.
     """
     cfg = config or FastConfig()
     if cfg.arc_length > 16:
         raise FeatureError("arc_length cannot exceed the 16-pixel circle")
     mask = fast_corner_mask(image, cfg)
     ys, xs = np.nonzero(mask)
-    return [(int(x), int(y)) for y, x in zip(ys, xs)]
+    return xs.astype(np.int64), ys.astype(np.int64)
+
+
+def detect_fast_keypoints(
+    image: GrayImage, config: FastConfig | None = None
+) -> List[Tuple[int, int]]:
+    """Return ``(x, y)`` coordinates of all FAST corners in raster order.
+
+    Thin list-of-tuples wrapper over :func:`detect_fast_keypoints_arrays`.
+    """
+    xs, ys = detect_fast_keypoints_arrays(image, config)
+    return list(zip(xs.tolist(), ys.tolist()))

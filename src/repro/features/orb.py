@@ -28,8 +28,11 @@ pluggable :class:`~repro.backends.KeypointBackend` selected by
 ``ExtractorConfig.backend``: the default ``vectorized`` backend batches whole
 pyramid levels through numpy while ``reference`` keeps the scalar
 ground-truth path; both are bit-identical (see ``docs/backends.md``).
-Candidates move through the extractor as coordinate/score arrays, and
-:class:`Feature` objects are only materialised for the retained set.
+The full-frame detection pass (FAST + Harris + NMS + smoothing) is likewise
+delegated to a :class:`~repro.frontend.DetectionEngine` selected by
+``ExtractorConfig.frontend`` (see ``docs/frontend.md``).  Candidates move
+through the extractor as coordinate/score arrays, and :class:`Feature`
+objects are only materialised for the retained set.
 """
 
 from __future__ import annotations
@@ -40,13 +43,10 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..config import ExtractorConfig
-from ..image import GrayImage, ImagePyramid, gaussian_blur
+from ..image import GrayImage, ImagePyramid, within_border
 from .brief import DescriptorEngine
-from .fast import fast_corner_mask
-from .harris import harris_response_map
 from .heap_filter import BoundedScoreHeap
 from .keypoint import Feature, Keypoint
-from .nms import non_maximum_suppression
 
 
 @dataclass
@@ -139,12 +139,15 @@ class OrbExtractor:
     """
 
     def __init__(self, config: ExtractorConfig | None = None) -> None:
-        # imported here (not at module scope) so that repro.features and
-        # repro.backends can be imported in either order without a cycle
+        # imported here (not at module scope) so that repro.features,
+        # repro.backends and repro.frontend can be imported in any order
+        # without a cycle
         from ..backends import create_backend
+        from ..frontend import create_engine
 
         self.config = config or ExtractorConfig()
         self.backend = create_backend(self.config.backend, self.config)
+        self.frontend = create_engine(self.config.frontend, self.config)
         self.descriptor_engine: DescriptorEngine = self.backend.descriptor_engine
         self._border = max(
             self.config.fast.border,
@@ -171,39 +174,32 @@ class OrbExtractor:
     def _detect_level_candidates(
         self, level_image: GrayImage, level: int, profile: ExtractionProfile
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Run FAST + Harris + NMS on one pyramid level; return candidate arrays.
+        """Run the detection engine on one pyramid level; return candidate arrays.
 
-        Returns ``(xs, ys, scores)`` of the NMS survivors that keep a full
-        descriptor border inside the level, filtered by array masking (no
-        per-survivor Python loop).
+        The engine performs the fused FAST + Harris + NMS pass (see
+        :mod:`repro.frontend`); this wrapper applies the descriptor-border
+        mask and updates the workload profile.  Returns ``(xs, ys, scores)``
+        of the NMS survivors that keep a full descriptor border inside the
+        level, filtered by array masking (no per-survivor Python loop).
         """
         empty = (
             np.zeros(0, dtype=np.int64),
             np.zeros(0, dtype=np.int64),
             np.zeros(0, dtype=np.float64),
         )
-        corner_mask = fast_corner_mask(level_image, self.config.fast)
-        profile.keypoints_detected += int(corner_mask.sum())
-        if not corner_mask.any():
+        xs, ys, scores, corners_detected = self.frontend.detect_with_count(level_image)
+        profile.keypoints_detected += corners_detected
+        if xs.size == 0:
             profile.per_level_keypoints.append(0)
             return empty
-        scores = harris_response_map(level_image)
-        survivors = non_maximum_suppression(corner_mask, scores, radius=1)
-        ys, xs = np.nonzero(survivors)
-        border = self._border
-        inside = (
-            (xs >= border)
-            & (xs < level_image.width - border)
-            & (ys >= border)
-            & (ys < level_image.height - border)
-        )
-        xs = xs[inside].astype(np.int64)
-        ys = ys[inside].astype(np.int64)
+        inside = within_border(xs, ys, level_image.shape, self._border)
+        xs = xs[inside]
+        ys = ys[inside]
         profile.keypoints_after_nms += int(xs.size)
         profile.per_level_keypoints.append(int(xs.size))
         if xs.size == 0:
             return empty
-        return xs, ys, scores[ys, xs].astype(np.float64)
+        return xs, ys, scores[inside]
 
     def _feature_from_batch(self, batch, index: int, level: int) -> Feature:
         """Materialise one retained :class:`Feature` from a described batch."""
@@ -234,7 +230,7 @@ class OrbExtractor:
         heap: BoundedScoreHeap[Tuple[int, int]] = BoundedScoreHeap(self.config.max_features)
         batches: List[Tuple[int, object]] = []
         for level in pyramid:
-            smoothed = gaussian_blur(level.image)
+            smoothed = self.frontend.smooth(level.image)
             xs, ys, scores = self._detect_level_candidates(level.image, level.level, profile)
             if xs.size == 0:
                 continue
@@ -260,7 +256,7 @@ class OrbExtractor:
         """Original order: collect all keypoints, filter to best N, then describe."""
         level_data = []
         for level in pyramid:
-            smoothed = gaussian_blur(level.image)
+            smoothed = self.frontend.smooth(level.image)
             xs, ys, scores = self._detect_level_candidates(level.image, level.level, profile)
             level_data.append((level.level, smoothed, xs, ys, scores))
         all_scores = np.concatenate([entry[4] for entry in level_data])

@@ -1,0 +1,24 @@
+"""Pluggable detection front-end engines for the ORB extractor.
+
+See :mod:`repro.frontend.base` for the interface and registry; importing
+this package registers the two built-in engines (``reference`` and
+``vectorized``).  ``docs/frontend.md`` documents the architecture.
+"""
+
+from .base import (
+    DetectionEngine,
+    available_engines,
+    create_engine,
+    register_engine,
+)
+from .reference import ReferenceEngine
+from .vectorized import VectorizedEngine
+
+__all__ = [
+    "DetectionEngine",
+    "available_engines",
+    "create_engine",
+    "register_engine",
+    "ReferenceEngine",
+    "VectorizedEngine",
+]

@@ -1,0 +1,99 @@
+"""Detection front-end engine interface and registry.
+
+The full-frame half of the ORB extractor — FAST segment test, Harris
+scoring, non-maximum suppression and Gaussian smoothing — is delegated to a
+pluggable **detection engine**, mirroring the keypoint compute backend layer
+(:mod:`repro.backends`).  An engine is constructed once from an
+:class:`~repro.config.ExtractorConfig`, owns its precomputed tables (the
+segment-test arc lookup table, Gaussian kernel, per-frame scratch buffers)
+and then serves any number of pyramid levels and frames.  Two
+implementations are registered:
+
+* ``reference`` -- composes the original per-stage functions
+  (:func:`repro.features.fast.fast_corner_mask`,
+  :func:`repro.features.harris.harris_response_map`,
+  :func:`repro.features.nms.non_maximum_suppression`,
+  :func:`repro.image.filters.gaussian_blur`), kept as bit-exact ground
+  truth (:mod:`repro.frontend.reference`);
+* ``vectorized`` -- the fused default: padded-slice ring comparisons packed
+  into uint16 bitmasks resolved by a 65536-entry arc LUT, Harris responses
+  gathered sparsely at FAST corners from integer integral images, loop-free
+  NMS and a slice-view Gaussian smoother reusing per-frame scratch buffers
+  (:mod:`repro.frontend.vectorized`).
+
+Engines self-register through :func:`register_engine`;
+``ExtractorConfig.frontend`` names the engine and :func:`create_engine`
+resolves it, exactly like the backend registry.  ``docs/frontend.md``
+documents the architecture.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, ClassVar, List, Tuple, Type
+
+import numpy as np
+
+from ..config import ExtractorConfig
+from ..image import GrayImage
+from ..registry import ClassRegistry
+
+
+class DetectionEngine(ABC):
+    """Full-frame detection engine behind the ORB extractor.
+
+    An engine instance holds only immutable tables plus thread-local scratch
+    buffers, so one instance can serve many extractors and many frames in
+    flight concurrently (see :class:`repro.serving.FrameServer`).
+    """
+
+    name: ClassVar[str] = "abstract"
+
+    def __init__(self, config: ExtractorConfig) -> None:
+        self.config = config
+
+    # -- public API -------------------------------------------------------
+    def detect(self, level_image: GrayImage) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Run the fused FAST + Harris + NMS pass over one pyramid level.
+
+        Returns ``(xs, ys, scores)`` of the NMS survivors in raster order:
+        int64 coordinates and float64 Harris responses.
+        """
+        xs, ys, scores, _ = self.detect_with_count(level_image)
+        return xs, ys, scores
+
+    @abstractmethod
+    def detect_with_count(
+        self, level_image: GrayImage
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+        """Like :meth:`detect` but also returns the raw FAST corner count.
+
+        The extra count feeds :class:`repro.features.orb.ExtractionProfile`
+        (``keypoints_detected``) without a second pass over the image.
+        """
+
+    @abstractmethod
+    def smooth(self, level_image: GrayImage) -> GrayImage:
+        """Gaussian-smooth one pyramid level for the descriptor stage.
+
+        Must match :func:`repro.image.filters.gaussian_blur` with the default
+        7x7, sigma-2 kernel bit for bit.
+        """
+
+
+_REGISTRY: ClassRegistry[DetectionEngine] = ClassRegistry("detection engine")
+
+
+def register_engine(name: str) -> Callable[[Type[DetectionEngine]], Type[DetectionEngine]]:
+    """Class decorator registering a detection engine under ``name``."""
+    return _REGISTRY.register(name)
+
+
+def available_engines() -> List[str]:
+    """Names of all registered detection engines, sorted."""
+    return _REGISTRY.names()
+
+
+def create_engine(name: str, config: ExtractorConfig | None = None) -> DetectionEngine:
+    """Instantiate the detection engine registered under ``name``."""
+    return _REGISTRY.create(name, config or ExtractorConfig())

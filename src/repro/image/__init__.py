@@ -1,7 +1,8 @@
 """Image substrate: containers, filtering, pyramids and synthetic textures."""
 
-from .image import GrayImage, box_sum, circular_mask, integral_image
+from .image import GrayImage, box_sum, circular_mask, integral_image, within_border
 from .filters import box_blur, gaussian_blur, gaussian_kernel_1d, gaussian_kernel_2d, sobel_gradients
+from .scratch import edge_pad_into, workspace_array, workspace_grid
 from .pyramid import ImagePyramid, PyramidLevel, nearest_neighbor_resize, pyramid_pixel_ratio
 from .synthetic import (
     add_gaussian_noise,
@@ -18,11 +19,15 @@ __all__ = [
     "circular_mask",
     "integral_image",
     "box_sum",
+    "within_border",
     "gaussian_blur",
     "box_blur",
     "gaussian_kernel_1d",
     "gaussian_kernel_2d",
     "sobel_gradients",
+    "edge_pad_into",
+    "workspace_array",
+    "workspace_grid",
     "ImagePyramid",
     "PyramidLevel",
     "nearest_neighbor_resize",

@@ -14,6 +14,12 @@ import numpy as np
 from ..errors import ImageError
 from .image import GrayImage
 
+#: The ORB pre-descriptor smoother: a 7x7 Gaussian with sigma 2.  Shared by
+#: :func:`gaussian_blur` and the detection engines (:mod:`repro.frontend`)
+#: so the dense and fused smoothing paths cannot silently diverge.
+GAUSSIAN_BLUR_SIZE: int = 7
+GAUSSIAN_BLUR_SIGMA: float = 2.0
+
 
 def gaussian_kernel_1d(size: int, sigma: float) -> np.ndarray:
     """Return a normalised 1-D Gaussian kernel of odd ``size``."""
@@ -48,7 +54,9 @@ def _convolve_separable(pixels: np.ndarray, kernel: np.ndarray) -> np.ndarray:
     return vert[half:-half, half:-half] if half else vert
 
 
-def gaussian_blur(image: GrayImage, size: int = 7, sigma: float = 2.0) -> GrayImage:
+def gaussian_blur(
+    image: GrayImage, size: int = GAUSSIAN_BLUR_SIZE, sigma: float = GAUSSIAN_BLUR_SIGMA
+) -> GrayImage:
     """Return a Gaussian-smoothed copy of ``image``.
 
     The default 7x7 kernel with ``sigma = 2`` mirrors the smoother used by

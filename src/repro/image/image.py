@@ -125,6 +125,19 @@ class GrayImage:
             yield row
 
 
+def within_border(
+    xs: np.ndarray, ys: np.ndarray, shape: Tuple[int, int], border: int
+) -> np.ndarray:
+    """Vectorised bounds mask: True where ``(x, y)`` keeps ``border`` inside.
+
+    The array form of :meth:`GrayImage.contains` — one definition shared by
+    the extractor's descriptor-border filter and the backends' patch-validity
+    mask so the border semantics cannot drift between them.
+    """
+    height, width = shape
+    return (xs >= border) & (xs < width - border) & (ys >= border) & (ys < height - border)
+
+
 def circular_mask(radius: int) -> np.ndarray:
     """Return a boolean mask selecting the circular patch of ``radius``.
 

@@ -1,0 +1,99 @@
+"""Reusable per-frame scratch buffers for the vectorised detection paths.
+
+The fused detection front-end touches several full-image intermediates per
+pyramid level (ring-comparison bitmasks, padded gradient products, integral
+images, NMS grids).  Allocating them per call dominates small-level runtimes,
+so callers thread a ``workspace`` dict through the hot path: buffers are
+allocated once at the largest size seen (level 0 of the pyramid) and smaller
+levels slice views out of them.
+
+A workspace is just a ``dict`` owned by the caller.  It is **not**
+thread-safe — concurrent users (e.g. :class:`repro.serving.FrameServer`
+workers) must hold one workspace per thread, which the vectorized detection
+engine does via ``threading.local``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+Workspace = Dict[str, np.ndarray]
+
+
+def _reusable_view(
+    workspace: Optional[Workspace],
+    name: str,
+    shape: Sequence[int],
+    dtype: np.dtype | type,
+    fill=None,
+) -> np.ndarray:
+    """Shared grow-or-reallocate logic behind both workspace entry points.
+
+    When ``workspace`` is None a fresh array is allocated (one-shot callers).
+    Otherwise the buffer stored under ``name`` is grown to cover ``shape``
+    (elementwise max with the previous size, so pyramid levels of any order
+    converge on one level-0-sized allocation) and a leading view is
+    returned.  ``fill`` selects ``np.full`` over ``np.empty`` at allocation.
+    """
+    shape = tuple(int(s) for s in shape)
+    buffer = None if workspace is None else workspace.get(name)
+    if buffer is None or buffer.dtype != np.dtype(dtype) or any(
+        have < want for have, want in zip(buffer.shape, shape)
+    ):
+        alloc = shape if buffer is None else tuple(
+            max(have, want) for have, want in zip(buffer.shape, shape)
+        )
+        buffer = np.empty(alloc, dtype=dtype) if fill is None else np.full(
+            alloc, fill, dtype=dtype
+        )
+        if workspace is not None:
+            workspace[name] = buffer
+    return buffer[tuple(slice(0, s) for s in shape)]
+
+
+def workspace_array(
+    workspace: Optional[Workspace],
+    name: str,
+    shape: Sequence[int],
+    dtype: np.dtype | type,
+) -> np.ndarray:
+    """Return a reusable array view of ``shape``; contents are UNINITIALISED."""
+    return _reusable_view(workspace, name, shape, dtype)
+
+
+def workspace_grid(
+    workspace: Optional[Workspace],
+    name: str,
+    shape: Tuple[int, int],
+    dtype: np.dtype | type,
+    fill,
+) -> np.ndarray:
+    """Return a reusable 2-D grid guaranteed to be filled with ``fill``.
+
+    The caller MUST restore every cell it writes back to ``fill`` before
+    returning, so the next (possibly larger-image) call can rely on the
+    invariant without re-clearing the whole grid.  Sparse writers touch a few
+    thousand cells of a ~300k-cell grid, so the restore is far cheaper than a
+    full fill per call.
+    """
+    return _reusable_view(workspace, name, shape, dtype, fill=fill)
+
+
+def edge_pad_into(source: np.ndarray, pad: int, out: np.ndarray) -> np.ndarray:
+    """Edge-replicated padding written into a preallocated buffer.
+
+    Produces exactly ``np.pad(source, pad, mode="edge")`` (values only —
+    ``out`` may be a wider dtype, matching how the reference pipeline casts
+    before padding) without allocating.  ``out`` must have shape
+    ``(h + 2*pad, w + 2*pad)``.
+    """
+    h, w = source.shape
+    out[pad : pad + h, pad : pad + w] = source
+    if pad:
+        out[pad : pad + h, :pad] = out[pad : pad + h, pad : pad + 1]
+        out[pad : pad + h, pad + w :] = out[pad : pad + h, pad + w - 1 : pad + w]
+        out[:pad, :] = out[pad : pad + 1, :]
+        out[pad + h :, :] = out[pad + h - 1 : pad + h, :]
+    return out

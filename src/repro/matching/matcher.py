@@ -76,34 +76,46 @@ class BruteForceMatcher:
             raise DescriptorError("descriptor sets must be 2-D (N, bytes) arrays")
         distances = hamming_distance_matrix(query, train)
         stats.distance_evaluations = distances.size
+        # selection and every quality filter run as one array pass per
+        # criterion; the rejection counters tally exactly like the old
+        # per-query loop (distance first, then ratio, then cross-check)
         best_train = np.argmin(distances, axis=1)
-        best_distance = distances[np.arange(distances.shape[0]), best_train]
-        matches: List[Match] = []
-        reverse_best = np.argmin(distances, axis=0) if self.config.cross_check else None
-        for qi in range(distances.shape[0]):
-            ti = int(best_train[qi])
-            dist = int(best_distance[qi])
-            if dist > self.config.max_hamming_distance:
-                stats.rejected_distance += 1
-                continue
-            if not self._passes_ratio_test(distances[qi], ti, dist):
-                stats.rejected_ratio += 1
-                continue
-            if reverse_best is not None and int(reverse_best[ti]) != qi:
-                stats.rejected_cross_check += 1
-                continue
-            matches.append(Match(query_index=qi, train_index=ti, distance=dist))
+        query_range = np.arange(distances.shape[0])
+        best_distance = distances[query_range, best_train]
+        alive = best_distance <= self.config.max_hamming_distance
+        stats.rejected_distance = int(np.count_nonzero(~alive))
+        passes_ratio = self._ratio_test_mask(distances, best_train, best_distance)
+        stats.rejected_ratio = int(np.count_nonzero(alive & ~passes_ratio))
+        alive &= passes_ratio
+        if self.config.cross_check:
+            reverse_best = np.argmin(distances, axis=0)
+            mutual = reverse_best[best_train] == query_range
+            stats.rejected_cross_check = int(np.count_nonzero(alive & ~mutual))
+            alive &= mutual
+        matches = [
+            Match(query_index=int(qi), train_index=int(best_train[qi]), distance=int(best_distance[qi]))
+            for qi in np.nonzero(alive)[0]
+        ]
         stats.accepted = len(matches)
         return matches
 
-    def _passes_ratio_test(self, row: np.ndarray, best_index: int, best_distance: int) -> bool:
-        """Lowe ratio test: best distance must be clearly below the second best."""
-        if self.config.ratio_threshold >= 1.0 or row.size < 2:
-            return True
-        second = np.partition(np.delete(row, best_index), 0)[0]
-        if second == 0:
-            return False
-        return best_distance <= self.config.ratio_threshold * float(second)
+    def _ratio_test_mask(
+        self, distances: np.ndarray, best_train: np.ndarray, best_distance: np.ndarray
+    ) -> np.ndarray:
+        """Lowe ratio test for every query row at once.
+
+        The second-best distance is the row minimum with the best *position*
+        masked out (identical to the old per-row ``np.delete`` + partition);
+        a second-best of 0 always fails, and the test is skipped entirely
+        when disabled or when there is only one candidate.
+        """
+        num_queries, num_candidates = distances.shape
+        if self.config.ratio_threshold >= 1.0 or num_candidates < 2:
+            return np.ones(num_queries, dtype=bool)
+        masked = distances.astype(np.float64, copy=True)
+        masked[np.arange(num_queries), best_train] = np.inf
+        second = masked.min(axis=1)
+        return (second > 0) & (best_distance <= self.config.ratio_threshold * second)
 
 
 def match_minimum_distance(

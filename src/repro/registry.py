@@ -1,0 +1,56 @@
+"""Generic name → class registry behind the pluggable compute layers.
+
+Both engine layers of the extractor — keypoint compute backends
+(:mod:`repro.backends`) and detection front-end engines
+(:mod:`repro.frontend`) — follow the same parameterised-compute-unit
+registry idiom as the hardware simulator: implementations self-register
+under a name, the configuration names the implementation, and a factory
+resolves it.  :class:`ClassRegistry` is that idiom once, shared by both
+(and by any future layer), so registration and lookup semantics cannot
+drift between them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generic, List, Type, TypeVar
+
+from .errors import FeatureError
+
+T = TypeVar("T")
+
+
+class ClassRegistry(Generic[T]):
+    """Name-keyed class registry with decorator registration.
+
+    ``kind`` is the human-readable noun used in error messages (e.g.
+    ``"keypoint backend"``).  Registration stamps the class's ``name``
+    attribute so instances can report which implementation they are.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._classes: Dict[str, Type[T]] = {}
+
+    def register(self, name: str) -> Callable[[Type[T]], Type[T]]:
+        """Class decorator registering the class under ``name``."""
+
+        def decorator(cls: Type[T]) -> Type[T]:
+            if name in self._classes:
+                raise FeatureError(f"{self.kind} {name!r} is already registered")
+            cls.name = name  # type: ignore[attr-defined]
+            self._classes[name] = cls
+            return cls
+
+        return decorator
+
+    def names(self) -> List[str]:
+        """Registered names, sorted."""
+        return sorted(self._classes)
+
+    def create(self, name: str, *args, **kwargs) -> T:
+        """Instantiate the class registered under ``name``."""
+        if name not in self._classes:
+            raise FeatureError(
+                f"unknown {self.kind} {name!r}; available: {', '.join(self.names())}"
+            )
+        return self._classes[name](*args, **kwargs)

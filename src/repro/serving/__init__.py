@@ -1,0 +1,10 @@
+"""Multi-frame serving: shared-engine extraction with frames in flight.
+
+:class:`FrameServer` runs many frames through ONE detection engine + keypoint
+backend pair on a thread pool with a bounded in-flight window.  See
+``docs/frontend.md`` for the architecture.
+"""
+
+from .frame_server import FrameServer, ServingStats
+
+__all__ = ["FrameServer", "ServingStats"]

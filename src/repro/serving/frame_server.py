@@ -1,0 +1,160 @@
+"""Thread-pooled multi-frame serving through one shared extraction engine.
+
+The paper's accelerator keeps every pipeline stage busy by streaming frames
+through fixed hardware; the software twin gets the same effect from a
+:class:`FrameServer`: one :class:`~repro.features.OrbExtractor` — and
+therefore ONE detection engine (:mod:`repro.frontend`) and ONE keypoint
+compute backend (:mod:`repro.backends`) with all their precomputed tables —
+serves many frames in flight on a thread pool.  Extraction is a pure
+function of the image, numpy releases the GIL inside the array kernels, and
+the vectorized engines keep their scratch buffers in thread-local storage,
+so concurrent frames scale across cores without any cross-frame state.
+
+A bounded in-flight window (semaphore) applies back-pressure: submitting
+more frames than ``max_in_flight`` blocks the producer instead of queueing
+unbounded pixel data, mirroring the bounded line-buffer FIFOs of the
+hardware front-end.
+
+Results are returned in submission order and are identical to sequential
+extraction (asserted by ``tests/test_serving.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from ..config import ExtractorConfig
+from ..errors import ReproError
+from ..features import ExtractionResult, OrbExtractor
+from ..image import GrayImage
+
+
+@dataclass
+class ServingStats:
+    """Counters accumulated by a :class:`FrameServer` across its lifetime."""
+
+    frames_submitted: int = 0
+    frames_completed: int = 0
+    max_in_flight: int = 0
+    _in_flight: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def _submitted(self) -> None:
+        with self._lock:
+            self.frames_submitted += 1
+            self._in_flight += 1
+            self.max_in_flight = max(self.max_in_flight, self._in_flight)
+
+    def _completed(self) -> None:
+        with self._lock:
+            self.frames_completed += 1
+            self._in_flight -= 1
+
+    def _abandoned(self) -> None:
+        """Undo a submission whose pool hand-off failed (never extracted)."""
+        with self._lock:
+            self.frames_submitted -= 1
+            self._in_flight -= 1
+
+
+class FrameServer:
+    """Bounded-queue, thread-pooled frame extraction over one shared engine.
+
+    Parameters
+    ----------
+    extractor:
+        Pre-built extractor to share.  Built from ``config`` when omitted.
+    config:
+        Extractor configuration used when ``extractor`` is not supplied.
+    max_workers:
+        Thread-pool width (frames extracted concurrently).
+    max_in_flight:
+        Back-pressure bound on submitted-but-unfinished frames; defaults to
+        ``2 * max_workers`` so the pool always has queued work without
+        holding unbounded images alive.
+    """
+
+    def __init__(
+        self,
+        extractor: Optional[OrbExtractor] = None,
+        config: Optional[ExtractorConfig] = None,
+        max_workers: int = 4,
+        max_in_flight: Optional[int] = None,
+    ) -> None:
+        if max_workers <= 0:
+            raise ReproError("max_workers must be positive")
+        if extractor is not None and config is not None and extractor.config != config:
+            raise ReproError("injected extractor configuration does not match config")
+        self.extractor = extractor or OrbExtractor(config)
+        self.max_workers = max_workers
+        self.max_in_flight = 2 * max_workers if max_in_flight is None else max_in_flight
+        if self.max_in_flight < max_workers:
+            raise ReproError("max_in_flight must be >= max_workers")
+        self.stats = ServingStats()
+        self._slots = threading.BoundedSemaphore(self.max_in_flight)
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="frame-server"
+        )
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        """Drain and shut the pool down; the server cannot be reused."""
+        self._closed = True
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "FrameServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- serving -----------------------------------------------------------
+    def submit(self, image: GrayImage) -> "Future[ExtractionResult]":
+        """Queue one frame; blocks while ``max_in_flight`` frames are pending.
+
+        Returns a future resolving to the same :class:`ExtractionResult`
+        sequential extraction would produce.
+        """
+        if self._closed:
+            raise ReproError("FrameServer is closed")
+        self._slots.acquire()
+        self.stats._submitted()
+        try:
+            future = self._pool.submit(self._extract_one, image)
+        except BaseException:
+            self.stats._abandoned()
+            self._slots.release()
+            raise
+        return future
+
+    def _extract_one(self, image: GrayImage) -> ExtractionResult:
+        try:
+            return self.extractor.extract(image)
+        finally:
+            self.stats._completed()
+            self._slots.release()
+
+    def extract_many(self, images: Iterable[GrayImage]) -> List[ExtractionResult]:
+        """Extract every image through the shared engine; results in order.
+
+        Submission interleaves with completion (the in-flight window keeps
+        the pool saturated while the producer is still iterating), so this
+        also serves as the pipelined entry point for whole sequences.
+        """
+        futures = [self.submit(image) for image in images]
+        return [future.result() for future in futures]
+
+    def map_frames(
+        self, frames: Sequence, max_frames: Optional[int] = None
+    ) -> List[ExtractionResult]:
+        """Extract the ``.image`` of dataset frames (RGB-D or SLAM frames)."""
+        images = [
+            frame.image
+            for index, frame in enumerate(frames)
+            if max_frames is None or index < max_frames
+        ]
+        return self.extract_many(images)

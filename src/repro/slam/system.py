@@ -11,6 +11,7 @@ cycle.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -18,6 +19,7 @@ import numpy as np
 
 from ..config import SlamConfig
 from ..dataset import RgbdFrame, RgbdSequence
+from ..errors import ReproError
 from ..geometry import Pose
 from .evaluation import AteResult, absolute_trajectory_error
 from .frame import Frame
@@ -88,7 +90,7 @@ class SlamSystem:
         self.config = config or SlamConfig()
         self.tracker = Tracker(self.config, extractor=extractor)
 
-    def process_frame(self, rgbd_frame: RgbdFrame, camera) -> TrackingResult:
+    def process_frame(self, rgbd_frame: RgbdFrame, camera, extraction=None) -> TrackingResult:
         """Process a single RGB-D frame (lower-level entry point)."""
         frame = Frame(
             index=rgbd_frame.index,
@@ -97,15 +99,48 @@ class SlamSystem:
             depth=rgbd_frame.depth,
             camera=camera,
         )
-        return self.tracker.process(frame)
+        return self.tracker.process(frame, extraction=extraction)
 
-    def run(self, sequence: RgbdSequence, max_frames: Optional[int] = None) -> SlamRunResult:
-        """Run the system over a whole sequence and collect results."""
+    def run(
+        self,
+        sequence: RgbdSequence,
+        max_frames: Optional[int] = None,
+        frame_server=None,
+    ) -> SlamRunResult:
+        """Run the system over a whole sequence and collect results.
+
+        When ``frame_server`` (a :class:`repro.serving.FrameServer`) is
+        given, feature extraction for the whole sequence is pipelined
+        through its thread pool — many frames in flight through one shared
+        engine — while tracking consumes the results in order.  Tracking
+        output is identical to the sequential path because extraction is a
+        pure per-frame function.
+        """
         result = SlamRunResult(sequence_name=sequence.name)
-        for rgbd_frame in sequence:
-            if max_frames is not None and rgbd_frame.index >= max_frames:
-                break
-            tracking = self.process_frame(rgbd_frame, sequence.camera)
+        frames = [
+            rgbd_frame
+            for rgbd_frame in sequence
+            if max_frames is None or rgbd_frame.index < max_frames
+        ]
+        if frame_server is not None and frame_server.extractor.config != self.config.extractor:
+            raise ReproError(
+                "frame server extractor configuration does not match the "
+                "SLAM extractor configuration"
+            )
+        # keep at most the server's in-flight window of frames submitted
+        # ahead of the tracker, so extraction overlaps tracking while only a
+        # bounded number of ExtractionResults is ever resident
+        pending: deque = deque()
+        next_to_submit = 0
+        for index, rgbd_frame in enumerate(frames):
+            extraction = None
+            if frame_server is not None:
+                window = frame_server.max_in_flight
+                while next_to_submit < len(frames) and next_to_submit <= index + window - 1:
+                    pending.append(frame_server.submit(frames[next_to_submit].image))
+                    next_to_submit += 1
+                extraction = pending.popleft().result()
+            tracking = self.process_frame(rgbd_frame, sequence.camera, extraction=extraction)
             result.frame_results.append(tracking)
             result.estimated_poses.append(tracking.pose)
             result.ground_truth_poses.append(rgbd_frame.ground_truth_pose)

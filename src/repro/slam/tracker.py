@@ -104,10 +104,17 @@ class Tracker:
         self.results: List[TrackingResult] = []
 
     # -- public API ----------------------------------------------------------
-    def process(self, frame: Frame) -> TrackingResult:
-        """Track one frame; returns the per-frame result (also stored)."""
+    def process(self, frame: Frame, extraction=None) -> TrackingResult:
+        """Track one frame; returns the per-frame result (also stored).
+
+        ``extraction`` optionally supplies a precomputed
+        :class:`~repro.features.ExtractionResult` for the frame (produced by
+        a :class:`repro.serving.FrameServer` pipelining extraction ahead of
+        tracking); extraction is a pure function of the image, so the result
+        is identical to extracting inline.
+        """
         workload = StageWorkload()
-        self._extract(frame, workload)
+        self._extract(frame, workload, extraction=extraction)
         if len(self.map) == 0:
             result = self._initialize(frame, workload)
         else:
@@ -123,8 +130,9 @@ class Tracker:
         return [result.pose for result in self.results]
 
     # -- stage 1: feature extraction ------------------------------------------
-    def _extract(self, frame: Frame, workload: StageWorkload) -> None:
-        extraction = self.extractor.extract(frame.image)
+    def _extract(self, frame: Frame, workload: StageWorkload, extraction=None) -> None:
+        if extraction is None:
+            extraction = self.extractor.extract(frame.image)
         frame.set_features(extraction)
         profile = extraction.profile
         workload.pixels_processed = profile.pixels_processed

@@ -173,3 +173,54 @@ class TestFilters:
     def test_filter_by_distance(self):
         matches = [Match(0, 1, 10), Match(1, 2, 40), Match(2, 3, 90)]
         assert filter_matches_by_distance(matches, 40) == matches[:2]
+
+
+class TestVectorizedSelectionEquivalence:
+    """The array-based match selection must mirror the per-query loop exactly."""
+
+    @staticmethod
+    def _loop_oracle(query, train, config):
+        """Literal transcription of the old per-query selection loop."""
+        distances = hamming_distance_matrix(query, train)
+        best_train = np.argmin(distances, axis=1)
+        best_distance = distances[np.arange(distances.shape[0]), best_train]
+        reverse_best = np.argmin(distances, axis=0) if config.cross_check else None
+        matches, rejected = [], {"distance": 0, "ratio": 0, "cross": 0}
+        for qi in range(distances.shape[0]):
+            ti, dist = int(best_train[qi]), int(best_distance[qi])
+            if dist > config.max_hamming_distance:
+                rejected["distance"] += 1
+                continue
+            row = distances[qi]
+            passes = True
+            if config.ratio_threshold < 1.0 and row.size >= 2:
+                second = np.partition(np.delete(row, ti), 0)[0]
+                passes = second != 0 and dist <= config.ratio_threshold * float(second)
+            if not passes:
+                rejected["ratio"] += 1
+                continue
+            if reverse_best is not None and int(reverse_best[ti]) != qi:
+                rejected["cross"] += 1
+                continue
+            matches.append(Match(qi, ti, dist))
+        return matches, rejected
+
+    @pytest.mark.parametrize("cross_check", [False, True])
+    @pytest.mark.parametrize("ratio", [0.5, 0.85, 1.0])
+    def test_matches_and_counters_equal_loop(self, cross_check, ratio):
+        rng = np.random.default_rng(42)
+        config = MatcherConfig(
+            max_hamming_distance=40, ratio_threshold=ratio, cross_check=cross_check
+        )
+        for trial in range(25):
+            query = rng.integers(0, 256, (8, 8), dtype=np.uint8)
+            train = rng.integers(0, 256, (10, 8), dtype=np.uint8)
+            train[:4] = query[:4]  # guarantee accepts, ties and mutual bests
+            matcher = BruteForceMatcher(config)
+            got = matcher.match(query, train)
+            expected, rejected = self._loop_oracle(query, train, config)
+            assert got == expected
+            assert matcher.last_stats.rejected_distance == rejected["distance"]
+            assert matcher.last_stats.rejected_ratio == rejected["ratio"]
+            assert matcher.last_stats.rejected_cross_check == rejected["cross"]
+            assert matcher.last_stats.accepted == len(expected)
