@@ -15,6 +15,11 @@ from .experiments import (
     run_table2_runtime,
     run_table3_energy,
 )
+from .hwexact import (
+    compare_float_vs_fixed_extraction,
+    run_hwexact_parity,
+    run_quantization_divergence,
+)
 
 __all__ = [
     "format_table",
@@ -33,4 +38,7 @@ __all__ = [
     "run_sequence_accuracy",
     "run_rescheduling_ablation",
     "run_pyramid_ablation",
+    "compare_float_vs_fixed_extraction",
+    "run_hwexact_parity",
+    "run_quantization_divergence",
 ]

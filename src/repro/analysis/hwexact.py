@@ -1,0 +1,247 @@
+"""Cross-validation harness for the quantized ``hwexact`` engine pair.
+
+Two experiments back the tentpole claim of the hardware model:
+
+* :func:`run_hwexact_parity` — the batched ``hwexact`` engines
+  (``ExtractorConfig(frontend="hwexact", backend="hwexact")``) must
+  reproduce the hardware model's unit-by-unit quantized extraction
+  (:meth:`repro.hw.OrbExtractorAccelerator.extract_quantized`) **bit for
+  bit**: same retained keypoints, scores, orientation labels, descriptors
+  and workload profiles.  The two sides share only the arithmetic kernels
+  of :mod:`repro.quant`; orchestration (streaming scalar windows vs whole
+  level numpy passes) is independent, so agreement validates both.
+* :func:`run_quantization_divergence` — quantifies what fixed-point
+  arithmetic *costs* relative to the float ``vectorized`` pipeline:
+  keypoint set agreement (exact and within a 1-pixel radius), descriptor
+  agreement on shared keypoints, and end-to-end trajectory divergence on a
+  synthetic TUM sequence (the paper's accuracy-preservation claim).
+
+Both functions return plain dictionaries so the benchmark harness
+(``benchmarks/bench_hwexact_parity.py``) can print them as JSON reports and
+``tests/test_hwexact_parity.py`` can assert on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..config import ExtractorConfig, PyramidConfig, SlamConfig, TrackerConfig
+from ..dataset import SequenceSpec, make_sequence
+from ..features import ExtractionResult, OrbExtractor
+from ..image import GrayImage, random_blocks
+from ..slam import SlamSystem
+
+
+def _default_parity_config() -> ExtractorConfig:
+    """Small workload: the hw model walks every window in Python."""
+    return ExtractorConfig(
+        image_width=160,
+        image_height=120,
+        pyramid=PyramidConfig(num_levels=2),
+        max_features=100,
+        frontend="hwexact",
+        backend="hwexact",
+    )
+
+
+def _feature_records(result: ExtractionResult) -> List[tuple]:
+    return [
+        (
+            f.keypoint.level,
+            f.keypoint.x,
+            f.keypoint.y,
+            f.score,
+            f.keypoint.orientation_bin,
+            f.keypoint.orientation_rad,
+            f.descriptor.tobytes(),
+            f.x0,
+            f.y0,
+        )
+        for f in result.features
+    ]
+
+
+def run_hwexact_parity(
+    images: Optional[Sequence[GrayImage]] = None,
+    config: Optional[ExtractorConfig] = None,
+) -> Dict[str, object]:
+    """Engine-pair extraction vs hardware-model quantized extraction.
+
+    Returns per-image feature counts and mismatch counts; ``bit_identical``
+    is True only if every feature record *and* every workload profile agrees
+    exactly across all images.
+    """
+    from ..hw import OrbExtractorAccelerator
+
+    config = config or _default_parity_config()
+    if images is None:
+        images = [
+            random_blocks(config.image_height, config.image_width, block=10, seed=seed)
+            for seed in (7, 21)
+        ]
+    engine_extractor = OrbExtractor(config)
+    accelerator = OrbExtractorAccelerator(config)
+    rows = []
+    total_mismatches = 0
+    profiles_equal = True
+    for index, image in enumerate(images):
+        engine_result = engine_extractor.extract(image)
+        hw_result, _ = accelerator.extract_quantized(image)
+        engine_records = _feature_records(engine_result)
+        hw_records = _feature_records(hw_result)
+        mismatches = sum(a != b for a, b in zip(engine_records, hw_records))
+        mismatches += abs(len(engine_records) - len(hw_records))
+        total_mismatches += mismatches
+        profile_match = vars(engine_result.profile) == vars(hw_result.profile)
+        profiles_equal = profiles_equal and profile_match
+        rows.append(
+            {
+                "image": index,
+                "engine_features": len(engine_records),
+                "hw_features": len(hw_records),
+                "mismatched_features": mismatches,
+                "profile_match": profile_match,
+            }
+        )
+    return {
+        "images": len(rows),
+        "rows": rows,
+        "total_mismatches": total_mismatches,
+        "profiles_equal": profiles_equal,
+        "bit_identical": total_mismatches == 0 and profiles_equal,
+    }
+
+
+def _keypoint_set(result: ExtractionResult) -> set:
+    return {(f.keypoint.level, f.keypoint.x, f.keypoint.y) for f in result.features}
+
+
+def _coverage_1px(points: set, reference: set) -> float:
+    """Fraction of ``points`` with a reference keypoint within 1 pixel."""
+    if not points:
+        return 1.0
+    covered = 0
+    for level, x, y in points:
+        if any(
+            (level, x + dx, y + dy) in reference
+            for dx in (-1, 0, 1)
+            for dy in (-1, 0, 1)
+        ):
+            covered += 1
+    return covered / len(points)
+
+
+def compare_float_vs_fixed_extraction(
+    image: GrayImage, config: Optional[ExtractorConfig] = None
+) -> Dict[str, float]:
+    """Keypoint/descriptor agreement between the float and quantized pipelines.
+
+    ``config`` (any engine selection) is re-targeted to the ``vectorized``
+    pair for the float run and the ``hwexact`` pair for the fixed run.
+    """
+    config = config or _default_parity_config()
+    float_result = OrbExtractor(
+        replace(config, frontend="vectorized", backend="vectorized")
+    ).extract(image)
+    fixed_result = OrbExtractor(
+        replace(config, frontend="hwexact", backend="hwexact")
+    ).extract(image)
+    float_keys = _keypoint_set(float_result)
+    fixed_keys = _keypoint_set(fixed_result)
+    common = float_keys & fixed_keys
+    union = float_keys | fixed_keys
+    float_by_key = {
+        (f.keypoint.level, f.keypoint.x, f.keypoint.y): f for f in float_result.features
+    }
+    fixed_by_key = {
+        (f.keypoint.level, f.keypoint.x, f.keypoint.y): f for f in fixed_result.features
+    }
+    identical_descriptors = 0
+    hamming_bits = []
+    for key in common:
+        xor = np.bitwise_xor(float_by_key[key].descriptor, fixed_by_key[key].descriptor)
+        bits = int(np.unpackbits(xor).sum())
+        hamming_bits.append(bits)
+        identical_descriptors += bits == 0
+    return {
+        "float_features": float(len(float_keys)),
+        "fixed_features": float(len(fixed_keys)),
+        "keypoint_jaccard": len(common) / max(1, len(union)),
+        "fixed_coverage_1px": _coverage_1px(fixed_keys, float_keys),
+        "float_coverage_1px": _coverage_1px(float_keys, fixed_keys),
+        "common_keypoints": float(len(common)),
+        "descriptor_identical_ratio": (
+            identical_descriptors / len(common) if common else 1.0
+        ),
+        "descriptor_mean_hamming_bits": (
+            float(np.mean(hamming_bits)) if hamming_bits else 0.0
+        ),
+    }
+
+
+def run_quantization_divergence(
+    sequence_name: str = "fr1/xyz",
+    num_frames: int = 8,
+    image_width: int = 160,
+    image_height: int = 120,
+    max_features: int = 150,
+) -> Dict[str, object]:
+    """Float-vs-fixed divergence at extraction and trajectory level.
+
+    Runs the same synthetic TUM sequence through :class:`SlamSystem` twice —
+    once with the float ``vectorized`` engine pair, once with the quantized
+    ``hwexact`` pair — and reports per-frame extraction agreement plus the
+    ATE of each run and the RMSE between the two estimated trajectories.
+    """
+    extractor_config = ExtractorConfig(
+        image_width=image_width,
+        image_height=image_height,
+        pyramid=PyramidConfig(num_levels=2),
+        max_features=max_features,
+    )
+    spec = SequenceSpec(
+        name=sequence_name,
+        num_frames=num_frames,
+        image_width=image_width,
+        image_height=image_height,
+    )
+    sequence = make_sequence(spec)
+    extraction = compare_float_vs_fixed_extraction(
+        sequence.frames[0].image, extractor_config
+    )
+    tracker = TrackerConfig(ransac_iterations=64, pose_iterations=10)
+    runs = {}
+    trajectories = {}
+    for label, frontend, backend in (
+        ("float", "vectorized", "vectorized"),
+        ("fixed", "hwexact", "hwexact"),
+    ):
+        slam_config = SlamConfig(
+            extractor=replace(extractor_config, frontend=frontend, backend=backend),
+            tracker=tracker,
+        )
+        result = SlamSystem(slam_config).run(sequence)
+        ate = result.ate()
+        trajectories[label] = np.array(
+            [pose.translation for pose in result.estimated_poses]
+        )
+        runs[label] = {
+            "ate_mean_cm": ate.mean_cm,
+            "ate_rmse_cm": ate.rmse_cm,
+            "tracking_success_ratio": result.tracking_success_ratio,
+            "features_per_frame": result.mean_workload().get("features_retained", 0.0),
+        }
+    difference = trajectories["float"] - trajectories["fixed"]
+    divergence_m = float(np.sqrt(np.mean(np.sum(difference * difference, axis=1))))
+    return {
+        "sequence": sequence_name,
+        "frames": num_frames,
+        "extraction": extraction,
+        "float": runs["float"],
+        "fixed": runs["fixed"],
+        "trajectory_divergence_rmse_cm": 100.0 * divergence_m,
+        "ate_delta_cm": runs["fixed"]["ate_mean_cm"] - runs["float"]["ate_mean_cm"],
+    }

@@ -1,8 +1,9 @@
 """Pluggable keypoint compute backends for the ORB extractor.
 
 See :mod:`repro.backends.base` for the interface and registry; importing this
-package registers the two built-in backends (``reference`` and
-``vectorized``).  ``docs/backends.md`` documents the architecture.
+package registers the three built-in backends (``reference``, ``vectorized``
+and the fixed-point ``hwexact``).  ``docs/backends.md`` and
+``docs/hwexact.md`` document the architecture.
 """
 
 from .base import (
@@ -12,6 +13,7 @@ from .base import (
     create_backend,
     register_backend,
 )
+from .hwexact import HwExactBackend
 from .reference import ReferenceBackend
 from .vectorized import VectorizedBackend
 
@@ -21,6 +23,7 @@ __all__ = [
     "available_backends",
     "create_backend",
     "register_backend",
+    "HwExactBackend",
     "ReferenceBackend",
     "VectorizedBackend",
 ]

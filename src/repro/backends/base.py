@@ -10,7 +10,11 @@ number of frames.  Two implementations are registered:
 * ``reference`` -- the scalar per-keypoint path, kept as bit-exact ground
   truth (:mod:`repro.backends.reference`);
 * ``vectorized`` -- the batched default that processes a whole pyramid level
-  per numpy pass (:mod:`repro.backends.vectorized`).
+  per numpy pass (:mod:`repro.backends.vectorized`);
+* ``hwexact`` -- the fixed-point datapath of the FPGA model: quantized-ratio
+  orientation LUT plus RS-BRIEF, bit-identical to :mod:`repro.hw` extraction
+  rather than to the float backends (:mod:`repro.backends.hwexact`, see
+  ``docs/hwexact.md``).
 
 Backends self-register through :func:`register_backend`, following the same
 parameterised-compute-unit-registry idiom as the hardware simulator: the

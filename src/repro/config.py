@@ -75,12 +75,17 @@ class ExtractorConfig:
     ``backend`` selects the keypoint compute engine used for the orientation
     and description hot path: ``"vectorized"`` (default) batches whole pyramid
     levels through numpy, ``"reference"`` keeps the bit-exact per-keypoint
-    scalar path.  See :mod:`repro.backends`.
+    scalar path, ``"hwexact"`` runs the FPGA model's fixed-point arithmetic
+    (quantized orientation ratio LUT, requires ``use_rs_brief``).  See
+    :mod:`repro.backends`.
 
     ``frontend`` selects the detection front-end engine (FAST + Harris + NMS
     + smoothing): ``"vectorized"`` (default) runs the fused arc-LUT /
     sparse-Harris pass, ``"reference"`` keeps the dense per-stage ground
-    truth.  See :mod:`repro.frontend`.
+    truth, ``"hwexact"`` runs the quantized integer Harris and 8-bit
+    fixed-point smoother of the hardware model.  Select the ``hwexact`` pair
+    together to reproduce :mod:`repro.hw` extraction bit for bit (see
+    ``docs/hwexact.md``).
     """
 
     image_width: int = 640

@@ -94,33 +94,46 @@ def discretize_orientation(angle_rad: float, num_bins: int = NUM_ORIENTATION_BIN
     return int(round(angle / (two_pi / num_bins))) % num_bins
 
 
-def orientation_lut_label(u: float, v: float, num_bins: int = NUM_ORIENTATION_BINS) -> int:
-    """Hardware-style orientation lookup from ``v/u`` plus sign bits.
+def orientation_lut_labels(
+    us: np.ndarray, vs: np.ndarray, num_bins: int = NUM_ORIENTATION_BINS
+) -> np.ndarray:
+    """Hardware-style orientation lookup from ``v/u`` plus sign bits, batched.
 
     The FPGA module determines the bin from the ratio ``v/u`` and the signs
     of ``u`` and ``v`` without evaluating ``atan2``.  Functionally this is
     identical to :func:`discretize_orientation` applied to ``atan2(v, u)``;
     we implement it by comparing ``|v/u|`` against pre-computed tangent
-    thresholds, which is exactly the comparison tree a LUT realises.
+    thresholds, which is exactly the comparison tree a LUT realises.  This
+    is the single definition of that tree — the scalar
+    :func:`orientation_lut_label`, the hardware Orientation Computing unit
+    and the batched ``hwexact`` backend all resolve labels through it, so
+    the LUT cannot fork.
     """
-    if u == 0.0 and v == 0.0:
-        return 0
-    if u == 0.0:
-        quarter = num_bins // 4
-        return quarter if v > 0 else 3 * quarter
+    us = np.asarray(us, dtype=np.float64)
+    vs = np.asarray(vs, dtype=np.float64)
+    quarter = num_bins // 4
     bin_width = 2.0 * math.pi / num_bins
-    ratio = abs(v / u)
-    # thresholds are the tangents of the bin boundaries in the first quadrant
-    base_angle = math.atan(ratio)
-    if u > 0 and v >= 0:
-        angle = base_angle
-    elif u < 0 and v >= 0:
-        angle = math.pi - base_angle
-    elif u < 0 and v < 0:
-        angle = math.pi + base_angle
-    else:
-        angle = 2.0 * math.pi - base_angle
-    return int(round(angle / bin_width)) % num_bins
+    u_zero = us == 0.0
+    v_zero = vs == 0.0
+    safe_u = np.where(u_zero, 1.0, us)
+    # thresholds are the tangents of the bin boundaries in the first quadrant;
+    # a denormal-small u legitimately overflows the ratio to inf (arctan(inf)
+    # is the correct quarter-turn), so silence only that warning
+    with np.errstate(over="ignore"):
+        base = np.arctan(np.abs(vs / safe_u))
+    angle = np.where(
+        us > 0,
+        np.where(vs >= 0, base, 2.0 * math.pi - base),
+        np.where(vs >= 0, math.pi - base, math.pi + base),
+    )
+    labels = np.rint(angle / bin_width).astype(np.int64) % num_bins
+    labels = np.where(u_zero & ~v_zero, np.where(vs > 0, quarter, 3 * quarter), labels)
+    return np.where(u_zero & v_zero, 0, labels)
+
+
+def orientation_lut_label(u: float, v: float, num_bins: int = NUM_ORIENTATION_BINS) -> int:
+    """Scalar :func:`orientation_lut_labels` (one centroid per call)."""
+    return int(orientation_lut_labels(np.array([u]), np.array([v]), num_bins)[0])
 
 
 def compute_orientation(

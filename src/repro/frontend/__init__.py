@@ -1,8 +1,9 @@
 """Pluggable detection front-end engines for the ORB extractor.
 
 See :mod:`repro.frontend.base` for the interface and registry; importing
-this package registers the two built-in engines (``reference`` and
-``vectorized``).  ``docs/frontend.md`` documents the architecture.
+this package registers the three built-in engines (``reference``,
+``vectorized`` and the fixed-point ``hwexact``).  ``docs/frontend.md`` and
+``docs/hwexact.md`` document the architecture.
 """
 
 from .base import (
@@ -11,6 +12,7 @@ from .base import (
     create_engine,
     register_engine,
 )
+from .hwexact import HwExactEngine
 from .reference import ReferenceEngine
 from .vectorized import VectorizedEngine
 
@@ -19,6 +21,7 @@ __all__ = [
     "available_engines",
     "create_engine",
     "register_engine",
+    "HwExactEngine",
     "ReferenceEngine",
     "VectorizedEngine",
 ]

@@ -19,7 +19,11 @@ implementations are registered:
   into uint16 bitmasks resolved by a 65536-entry arc LUT, Harris responses
   gathered sparsely at FAST corners from integer integral images, loop-free
   NMS and a slice-view Gaussian smoother reusing per-frame scratch buffers
-  (:mod:`repro.frontend.vectorized`).
+  (:mod:`repro.frontend.vectorized`);
+* ``hwexact`` -- the fixed-point datapath of the FPGA model: integer
+  windowed Harris accumulators and the 8-bit quantized Gaussian smoother,
+  bit-identical to :mod:`repro.hw` extraction rather than to the float
+  engines (:mod:`repro.frontend.hwexact`, see ``docs/hwexact.md``).
 
 Engines self-register through :func:`register_engine`;
 ``ExtractorConfig.frontend`` names the engine and :func:`create_engine`
@@ -76,8 +80,10 @@ class DetectionEngine(ABC):
     def smooth(self, level_image: GrayImage) -> GrayImage:
         """Gaussian-smooth one pyramid level for the descriptor stage.
 
-        Must match :func:`repro.image.filters.gaussian_blur` with the default
-        7x7, sigma-2 kernel bit for bit.
+        The float engines (``reference``, ``vectorized``) must match
+        :func:`repro.image.filters.gaussian_blur` with the default 7x7,
+        sigma-2 kernel bit for bit; the quantized ``hwexact`` engine instead
+        matches the hardware Image Smoother's 8-bit fixed-point kernel.
         """
 
 

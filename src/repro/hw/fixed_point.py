@@ -1,83 +1,22 @@
-"""Fixed-point arithmetic helpers.
+"""Fixed-point arithmetic helpers (re-exported from :mod:`repro.quant`).
 
-The FPGA datapath works with fixed-point numbers (pixel intensities, Harris
-scores, centroid accumulators) rather than IEEE floats.  These helpers model
-quantisation so tests can verify that the algorithmic quantities the paper's
-hardware computes (orientation labels, Harris comparisons, descriptor bits)
-are insensitive to the fixed-point formats a realistic implementation would
-use.
+The formats moved to :mod:`repro.quant.formats` so the ``hwexact`` software
+engines can share them without importing the cycle/latency models; this
+module remains as the hardware-facing alias.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from ..quant.formats import (
+    HARRIS_SCORE_FORMAT,
+    ORIENTATION_RATIO_FORMAT,
+    PIXEL_FORMAT,
+    FixedPointFormat,
+)
 
-import numpy as np
-
-from ..errors import HardwareModelError
-
-
-@dataclass(frozen=True)
-class FixedPointFormat:
-    """A signed/unsigned fixed-point format ``Q(integer_bits).(fraction_bits)``."""
-
-    integer_bits: int
-    fraction_bits: int
-    signed: bool = True
-
-    def __post_init__(self) -> None:
-        if self.integer_bits < 0 or self.fraction_bits < 0:
-            raise HardwareModelError("bit widths must be non-negative")
-        if self.total_bits == 0:
-            raise HardwareModelError("format must have at least one bit")
-
-    @property
-    def total_bits(self) -> int:
-        return self.integer_bits + self.fraction_bits + (1 if self.signed else 0)
-
-    @property
-    def scale(self) -> float:
-        return float(2**self.fraction_bits)
-
-    @property
-    def max_value(self) -> float:
-        return (2 ** (self.integer_bits + self.fraction_bits) - 1) / self.scale
-
-    @property
-    def min_value(self) -> float:
-        if not self.signed:
-            return 0.0
-        return -(2 ** (self.integer_bits + self.fraction_bits)) / self.scale
-
-    @property
-    def resolution(self) -> float:
-        return 1.0 / self.scale
-
-    def quantize(self, value):
-        """Round ``value`` (scalar or array) to the nearest representable number."""
-        array = np.asarray(value, dtype=np.float64)
-        quantized = np.rint(array * self.scale) / self.scale
-        return np.clip(quantized, self.min_value, self.max_value)
-
-    def to_integer(self, value):
-        """Return the raw integer representation of ``value``."""
-        array = np.asarray(value, dtype=np.float64)
-        clipped = np.clip(array, self.min_value, self.max_value)
-        return np.rint(clipped * self.scale).astype(np.int64)
-
-    def from_integer(self, raw):
-        """Convert a raw integer representation back to a real value."""
-        return np.asarray(raw, dtype=np.float64) / self.scale
-
-    def quantization_error(self, value) -> float:
-        """Maximum absolute quantisation error over ``value``."""
-        array = np.asarray(value, dtype=np.float64)
-        return float(np.abs(array - self.quantize(array)).max())
-
-
-#: Format used for pixel intensities (unsigned 8-bit integers).
-PIXEL_FORMAT = FixedPointFormat(integer_bits=8, fraction_bits=0, signed=False)
-#: Format used for the centroid ratio v/u feeding the orientation LUT.
-ORIENTATION_RATIO_FORMAT = FixedPointFormat(integer_bits=6, fraction_bits=10)
-#: Format used for Harris corner scores inside the heap comparisons.
-HARRIS_SCORE_FORMAT = FixedPointFormat(integer_bits=24, fraction_bits=0)
+__all__ = [
+    "FixedPointFormat",
+    "PIXEL_FORMAT",
+    "ORIENTATION_RATIO_FORMAT",
+    "HARRIS_SCORE_FORMAT",
+]

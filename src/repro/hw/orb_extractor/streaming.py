@@ -11,8 +11,11 @@ keypoints in the order the hardware would produce them.
 It exists to demonstrate (and let tests verify) that the documented cache
 schedule really does deliver every window needed by the detector and that the
 streaming datapath produces the same keypoints as the vectorised software
-implementation, up to the documented differences (windowed Harris scores vs
-whole-image Sobel accumulation).
+implementation, up to the documented differences: the unit's quantized
+windowed Harris score (integer accumulators, rescaled into the 24-bit score
+register — see :mod:`repro.quant.kernels`) differs from the whole-image
+Sobel float response, which moves NMS picks within corner clusters and drops
+weak corners whose quantized response truncates to zero.
 """
 
 from __future__ import annotations
@@ -176,9 +179,11 @@ def compare_with_software(
     """Compare the streaming front end with the vectorised software detector.
 
     Returns a dictionary with the two keypoint counts and their overlap ratio.
-    The detectors agree on the segment test by construction; small differences
-    can only come from the score used for NMS tie-breaking (windowed Harris in
-    the unit vs Sobel-accumulated Harris in software).
+    The detectors agree on the segment test by construction; differences come
+    from the score feeding NMS — the unit's quantized windowed Harris
+    (integer accumulators, ``>> 26`` rescale) vs the software's
+    Sobel-accumulated float response — which shifts tie-breaks within corner
+    clusters and drops weak corners whose quantized score truncates to zero.
     """
     from ...features import fast_corner_mask, harris_response_map, non_maximum_suppression
 

@@ -5,25 +5,36 @@ the same data the software pipeline uses (so outputs can be cross-checked
 bit-for-bit against :mod:`repro.features`), and its *cycle cost* follows the
 streaming schedule of Section 3.1.  Resource estimates for Table 1 are
 derived from the same parameters in :mod:`repro.hw.resources`.
+
+The quantized *arithmetic* of each unit lives in :mod:`repro.quant.kernels`
+(shared with the batched ``hwexact`` engine pair, so the datapath cannot
+fork); the units here keep the per-window/per-feature call granularity of
+the streaming hardware plus the cycle accounting.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
 from ...config import DescriptorConfig, FastConfig
 from ...errors import HardwareModelError
 from ...features.fast import FAST_CIRCLE_OFFSETS
-from ...features.harris import HARRIS_K
 from ...features.heap_filter import BoundedScoreHeap
-from ...features.orientation import NUM_ORIENTATION_BINS, intensity_centroid, orientation_lut_label
+from ...features.orientation import NUM_ORIENTATION_BINS
 from ...features.rs_brief import rotate_descriptor_bytes, rs_brief_pattern
-from ...image.filters import gaussian_kernel_2d
+from ...image import GrayImage
+from ...quant.kernels import (
+    brief_descriptor_from_patch,
+    harris_window_score_quantized,
+    orientation_bin_from_patch_quantized,
+    quantize_gaussian_kernel,
+    smooth_image_quantized,
+    smooth_window_quantized,
+)
 from ..cycles import CycleBreakdown
-from ..fixed_point import ORIENTATION_RATIO_FORMAT
 
 
 # ---------------------------------------------------------------------------
@@ -53,7 +64,7 @@ class FastDetectionUnit:
         center = int(window[3, 3])
         ring = [int(window[3 + dy, 3 + dx]) for dx, dy in FAST_CIRCLE_OFFSETS]
         is_corner = self._segment_test(center, ring)
-        score = self._harris_score(window) if is_corner else 0.0
+        score = float(self._harris_score(window)) if is_corner else 0.0
         return is_corner, score
 
     def _segment_test(self, center: int, ring: Sequence[int]) -> bool:
@@ -70,19 +81,14 @@ class FastDetectionUnit:
                     return True
         return False
 
-    def _harris_score(self, window: np.ndarray) -> float:
-        """Harris response from gradients accumulated over the 7x7 window."""
-        patch = window.astype(np.float64)
-        gx = np.zeros_like(patch)
-        gy = np.zeros_like(patch)
-        gx[:, 1:-1] = (patch[:, 2:] - patch[:, :-2]) / 2.0
-        gy[1:-1, :] = (patch[2:, :] - patch[:-2, :]) / 2.0
-        sxx = float((gx * gx).sum())
-        syy = float((gy * gy).sum())
-        sxy = float((gx * gy).sum())
-        det = sxx * syy - sxy * sxy
-        trace = sxx + syy
-        return det - HARRIS_K * trace * trace
+    def _harris_score(self, window: np.ndarray) -> int:
+        """Quantized Harris response accumulated over the 7x7 window.
+
+        Integer doubled-gradient accumulators with the Q0.7 fixed-point
+        sensitivity constant, rescaled into the 24-bit score register — the
+        shared kernel :func:`repro.quant.kernels.harris_window_score_quantized`.
+        """
+        return harris_window_score_quantized(window)
 
 
 # ---------------------------------------------------------------------------
@@ -98,27 +104,27 @@ class ImageSmootherUnit:
     """
 
     def __init__(self, size: int = 7, sigma: float = 2.0, weight_bits: int = 8) -> None:
-        if weight_bits <= 0:
-            raise HardwareModelError("weight_bits must be positive")
-        kernel = gaussian_kernel_2d(size, sigma)
-        scale = 2**weight_bits
-        quantized = np.rint(kernel * scale).astype(np.int64)
-        # keep the kernel normalised after quantisation by adjusting the centre
-        deficit = scale - int(quantized.sum())
-        quantized[size // 2, size // 2] += deficit
         self.size = size
         self.weight_bits = weight_bits
-        self.kernel_fixed = quantized
+        # keep the kernel normalised after quantisation (the shared kernel
+        # adjusts the centre tap so the weights sum to 2**weight_bits)
+        self.kernel_fixed = quantize_gaussian_kernel(size, sigma, weight_bits)
         self.windows_processed = 0
 
     def smooth_window(self, window: np.ndarray) -> int:
         """Return the smoothed centre pixel of one ``size x size`` window."""
-        window = np.asarray(window, dtype=np.int64)
-        if window.shape != (self.size, self.size):
-            raise HardwareModelError(f"smoother window must be {self.size}x{self.size}")
         self.windows_processed += 1
-        accumulator = int((window * self.kernel_fixed).sum())
-        return int(np.clip(accumulator >> self.weight_bits, 0, 255))
+        return smooth_window_quantized(window, self.kernel_fixed, self.weight_bits)
+
+    def smooth_image(self, image: GrayImage) -> GrayImage:
+        """Slide the unit over a whole image (one window per pixel).
+
+        Pure integer arithmetic, so each interior pixel is exactly what
+        :meth:`smooth_window` produces for that window (asserted by the unit
+        tests); edges replicate, matching the clamping line buffer.
+        """
+        self.windows_processed += image.num_pixels
+        return smooth_image_quantized(image, self.kernel_fixed, self.weight_bits)
 
     def multipliers_required(self) -> int:
         """Number of multiply units in a fully unrolled implementation."""
@@ -179,17 +185,15 @@ class OrientationUnit:
         self.patches_processed = 0
 
     def orientation_bin(self, patch: np.ndarray) -> int:
-        """Return the discretised orientation label of a circular patch."""
+        """Return the discretised orientation label of a circular patch.
+
+        Delegates to the shared quantized kernel
+        (:func:`repro.quant.kernels.orientation_bin_from_patch_quantized`):
+        centroid accumulation, Q6.10 ratio quantisation and the 32-way LUT
+        label, identical to the batched ``hwexact`` backend.
+        """
         self.patches_processed += 1
-        u, v = intensity_centroid(np.asarray(patch, dtype=np.float64))
-        if abs(u) < 1e-12 and abs(v) < 1e-12:
-            return 0
-        if abs(u) > 1e-12:
-            ratio = float(ORIENTATION_RATIO_FORMAT.quantize(v / u))
-            v_quantized = ratio * u
-        else:
-            v_quantized = v
-        return orientation_lut_label(u, v_quantized, self.num_bins)
+        return orientation_bin_from_patch_quantized(patch, self.num_bins)
 
     def cycles_per_feature(self, patch_diameter: int = 31, lanes: int = 31) -> float:
         """Accumulation cycles per feature: one row of the patch per cycle."""
@@ -230,20 +234,8 @@ class BriefComputingUnit:
         The patch must be centred on the feature and large enough to contain
         the pattern (side ``2 * patch_radius + 1``).
         """
-        patch = np.asarray(smoothed_patch, dtype=np.int64)
-        radius = patch.shape[0] // 2
-        if patch.shape[0] != patch.shape[1] or patch.shape[0] % 2 == 0:
-            raise HardwareModelError("descriptor patch must be square with odd side")
-        max_offset = int(np.abs(np.concatenate([self._s_int, self._d_int])).max())
-        if radius < max_offset:
-            raise HardwareModelError(
-                f"patch radius {radius} too small for pattern radius {max_offset}"
-            )
         self.features_described += 1
-        s_vals = patch[radius + self._s_int[:, 1], radius + self._s_int[:, 0]]
-        d_vals = patch[radius + self._d_int[:, 1], radius + self._d_int[:, 0]]
-        bits = (s_vals > d_vals).astype(np.uint8)
-        return np.packbits(bits, bitorder="little")
+        return brief_descriptor_from_patch(smoothed_patch, self._s_int, self._d_int)
 
     def cycles_per_feature(self) -> float:
         return float(self.config.num_bits / self.comparators_per_cycle)
@@ -286,6 +278,9 @@ class HeapEntry:
     level: int
     score: float
     descriptor: np.ndarray
+    #: orientation label carried alongside the descriptor in the feature
+    #: record (written back over AXI with the coordinates)
+    orientation_bin: int = 0
 
 
 class FeatureHeapUnit:
@@ -307,6 +302,11 @@ class FeatureHeapUnit:
 
     def retained(self) -> List[HeapEntry]:
         return self._heap.items_by_score()
+
+    @property
+    def comparisons(self) -> int:
+        """Comparator operations performed so far (feeds the cycle model)."""
+        return self._heap.stats.comparisons
 
     def __len__(self) -> int:
         return len(self._heap)

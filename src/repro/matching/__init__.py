@@ -9,6 +9,7 @@ from .hamming import (
 from .matcher import (
     BruteForceMatcher,
     Match,
+    MatchArrays,
     MatchStatistics,
     filter_matches_by_distance,
     match_minimum_distance,
@@ -21,6 +22,7 @@ __all__ = [
     "popcount_bytes",
     "BruteForceMatcher",
     "Match",
+    "MatchArrays",
     "MatchStatistics",
     "match_minimum_distance",
     "filter_matches_by_distance",

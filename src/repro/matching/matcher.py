@@ -46,6 +46,44 @@ class MatchStatistics:
     rejected_cross_check: int = 0
 
 
+@dataclass(frozen=True)
+class MatchArrays:
+    """Accepted correspondences as parallel arrays (the matcher hot path).
+
+    The array form of a ``List[Match]``: row ``i`` of the three arrays is
+    one accepted correspondence.  Consumers that only gather by index (pose
+    estimation, map updates) can use the arrays directly; ``to_matches``
+    materialises the per-correspondence objects for the object API.
+    """
+
+    query_indices: np.ndarray
+    train_indices: np.ndarray
+    distances: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return int(self.query_indices.size)
+
+    @classmethod
+    def empty(cls) -> "MatchArrays":
+        return cls(
+            query_indices=np.zeros(0, dtype=np.int64),
+            train_indices=np.zeros(0, dtype=np.int64),
+            distances=np.zeros(0, dtype=np.int64),
+        )
+
+    def to_matches(self) -> List[Match]:
+        """Materialise :class:`Match` objects (identical to the object API)."""
+        return [
+            Match(query_index=int(qi), train_index=int(ti), distance=int(d))
+            for qi, ti, d in zip(
+                self.query_indices.tolist(),
+                self.train_indices.tolist(),
+                self.distances.tolist(),
+            )
+        ]
+
+
 class BruteForceMatcher:
     """Exhaustive Hamming matcher with optional ratio and cross-check filters."""
 
@@ -61,7 +99,23 @@ class BruteForceMatcher:
         """Match every query descriptor against the train set.
 
         Returns at most one match per query descriptor; matches that fail the
-        distance, ratio or cross-check criteria are dropped.
+        distance, ratio or cross-check criteria are dropped.  Thin object
+        wrapper over :meth:`match_arrays` — identical output and statistics.
+        """
+        return self.match_arrays(query_descriptors, train_descriptors).to_matches()
+
+    def match_arrays(
+        self,
+        query_descriptors: np.ndarray,
+        train_descriptors: np.ndarray,
+    ) -> MatchArrays:
+        """Array fast path of :meth:`match`: no per-``Match`` construction.
+
+        Selection and every quality filter run as one array pass per
+        criterion; the rejection counters tally exactly like the old
+        per-query loop (distance first, then ratio, then cross-check), and
+        the accepted rows come back as :class:`MatchArrays` so hot paths
+        never build per-correspondence Python objects.
         """
         query = np.asarray(query_descriptors, dtype=np.uint8)
         train = np.asarray(train_descriptors, dtype=np.uint8)
@@ -71,14 +125,11 @@ class BruteForceMatcher:
         )
         self.last_stats = stats
         if query.size == 0 or train.size == 0:
-            return []
+            return MatchArrays.empty()
         if query.ndim != 2 or train.ndim != 2:
             raise DescriptorError("descriptor sets must be 2-D (N, bytes) arrays")
         distances = hamming_distance_matrix(query, train)
         stats.distance_evaluations = distances.size
-        # selection and every quality filter run as one array pass per
-        # criterion; the rejection counters tally exactly like the old
-        # per-query loop (distance first, then ratio, then cross-check)
         best_train = np.argmin(distances, axis=1)
         query_range = np.arange(distances.shape[0])
         best_distance = distances[query_range, best_train]
@@ -92,12 +143,13 @@ class BruteForceMatcher:
             mutual = reverse_best[best_train] == query_range
             stats.rejected_cross_check = int(np.count_nonzero(alive & ~mutual))
             alive &= mutual
-        matches = [
-            Match(query_index=int(qi), train_index=int(best_train[qi]), distance=int(best_distance[qi]))
-            for qi in np.nonzero(alive)[0]
-        ]
-        stats.accepted = len(matches)
-        return matches
+        accepted = np.nonzero(alive)[0].astype(np.int64)
+        stats.accepted = int(accepted.size)
+        return MatchArrays(
+            query_indices=accepted,
+            train_indices=best_train[accepted].astype(np.int64),
+            distances=best_distance[accepted].astype(np.int64),
+        )
 
     def _ratio_test_mask(
         self, distances: np.ndarray, best_train: np.ndarray, best_distance: np.ndarray

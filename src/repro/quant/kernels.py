@@ -1,0 +1,330 @@
+"""Quantized arithmetic kernels of the FPGA datapath.
+
+Each kernel is the *single* definition of one piece of the accelerator's
+fixed-point arithmetic, exposed in two call styles:
+
+* a **scalar / per-window** form, consumed by the hardware datapath units in
+  :mod:`repro.hw.orb_extractor.units` (one 7x7 window, one patch, one
+  feature at a time — the granularity of the streaming hardware);
+* a **batched** form, consumed by the ``hwexact`` engine pair
+  (:mod:`repro.frontend.hwexact`, :mod:`repro.backends.hwexact`) which runs
+  whole pyramid levels through numpy.
+
+Every quantity is an integer (or an exactly-representable float64) at every
+step, so the two call styles are bit-identical by arithmetic — not merely by
+testing — and ``tests/test_hwexact_parity.py`` pins the equivalence down at
+the kernel level and end to end.
+
+The quantisation choices model the paper's datapath:
+
+* **Harris** uses doubled central-difference gradients inside the 7x7 window
+  (no ``/2``, so gradients stay integral) accumulated in integer registers.
+  With doubled gradients the moment sums scale by 4 and the determinant by
+  16; the sensitivity constant ``k = 0.04`` is stored as the Q0.7 constant
+  ``HARRIS_K_FIXED / 2**HARRIS_K_FRACTION_BITS = 5/128``, and the final
+  score is rescaled by an arithmetic right shift and saturated to the
+  24-bit :data:`~repro.quant.formats.HARRIS_SCORE_FORMAT`.
+* **Smoothing** multiplies by the 8-bit fixed-point Gaussian kernel (weights
+  summing to exactly ``2**SMOOTHER_WEIGHT_BITS``) and truncates with a
+  right shift — a DSP multiply-accumulate plus wire shift.
+* **Orientation** forms the intensity-centroid ratio ``v/u`` in the Q6.10
+  :data:`~repro.quant.formats.ORIENTATION_RATIO_FORMAT` and resolves the
+  32-way label from the quantized ratio plus sign bits (the LUT comparison
+  tree), never evaluating ``atan2``.
+* **RS-BRIEF** evaluates the 256 fixed test pairs on the quantized-smoothed
+  patch and packs bits LSB-first (bit ``i`` into byte ``i // 8``), the exact
+  layout of the hardware BRIEF Computing unit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import HardwareModelError
+from ..features.orientation import (
+    NUM_ORIENTATION_BINS,
+    OrientationGrid,
+    intensity_centroid,
+    orientation_lut_labels,
+)
+from ..image import GrayImage
+from ..image.filters import gaussian_kernel_2d
+from .formats import HARRIS_SCORE_FORMAT, ORIENTATION_RATIO_FORMAT
+
+#: Fraction bits of the fixed-point Harris sensitivity constant ``k``.
+HARRIS_K_FRACTION_BITS: int = 7
+#: ``round(0.04 * 2**7)``: the Q0.7 representation of ``k`` (5/128).
+HARRIS_K_FIXED: int = 5
+#: Right shift rescaling the raw integer response into the 24-bit score
+#: register.  The worst-case accumulator magnitude over a 7x7 window of
+#: 8-bit pixels is ``det16 * 2**7 + 5 * trace4**2 < 2**50`` (doubled
+#: gradients bound ``|gx2| <= 255``, so the moment sums stay below
+#: ``35 * 255**2``), so shifting by 26 provably fits
+#: :data:`~repro.quant.formats.HARRIS_SCORE_FORMAT` without saturating —
+#: the score register never clips, it only loses low-order bits.
+HARRIS_SCORE_SHIFT: int = 26
+#: Half-size of the Harris accumulation window (7x7 window).
+HARRIS_WINDOW_RADIUS: int = 3
+#: Fraction bits of the quantized Gaussian smoother weights.
+SMOOTHER_WEIGHT_BITS: int = 8
+
+
+# ---------------------------------------------------------------------------
+# Gaussian smoothing (8-bit fixed-point weights)
+# ---------------------------------------------------------------------------
+def quantize_gaussian_kernel(
+    size: int = 7, sigma: float = 2.0, weight_bits: int = SMOOTHER_WEIGHT_BITS
+) -> np.ndarray:
+    """Quantize the 2-D Gaussian kernel to ``weight_bits`` fixed-point weights.
+
+    The weights are rounded to ``weight_bits`` fractional bits and the centre
+    tap absorbs the rounding deficit so the quantized kernel sums to exactly
+    ``2**weight_bits`` (a constant window stays constant after the shift).
+    """
+    if weight_bits <= 0:
+        raise HardwareModelError("weight_bits must be positive")
+    kernel = gaussian_kernel_2d(size, sigma)
+    scale = 2**weight_bits
+    quantized = np.rint(kernel * scale).astype(np.int64)
+    deficit = scale - int(quantized.sum())
+    quantized[size // 2, size // 2] += deficit
+    return quantized
+
+
+def smooth_window_quantized(
+    window: np.ndarray, kernel_fixed: np.ndarray, weight_bits: int = SMOOTHER_WEIGHT_BITS
+) -> int:
+    """Smoothed centre pixel of one window (the hardware MAC + shift)."""
+    window = np.asarray(window, dtype=np.int64)
+    if window.shape != kernel_fixed.shape:
+        raise HardwareModelError(
+            f"smoother window must be {kernel_fixed.shape[0]}x{kernel_fixed.shape[1]}"
+        )
+    accumulator = int((window * kernel_fixed).sum())
+    return int(np.clip(accumulator >> weight_bits, 0, 255))
+
+
+def smooth_image_quantized(
+    image: GrayImage, kernel_fixed: np.ndarray, weight_bits: int = SMOOTHER_WEIGHT_BITS
+) -> GrayImage:
+    """Whole-image form of :func:`smooth_window_quantized`.
+
+    Pure integer accumulation, so each interior pixel equals the per-window
+    kernel exactly; borders replicate edges, matching a hardware line buffer
+    that clamps addresses at image edges.
+    """
+    size = int(kernel_fixed.shape[0])
+    half = size // 2
+    padded = np.pad(image.pixels.astype(np.int64), half, mode="edge")
+    height, width = image.shape
+    accumulator = np.zeros((height, width), dtype=np.int64)
+    for row in range(size):
+        for col in range(size):
+            weight = int(kernel_fixed[row, col])
+            if weight:
+                accumulator += weight * padded[row : row + height, col : col + width]
+    return GrayImage(
+        np.clip(accumulator >> weight_bits, 0, 255).astype(np.uint8)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Harris response (integer accumulators)
+# ---------------------------------------------------------------------------
+def harris_window_score_quantized(window: np.ndarray) -> int:
+    """Quantized Harris response of one 7x7 window (integer accumulators).
+
+    Doubled central-difference gradients are accumulated into the integer
+    second-moment sums; the score is rescaled by :data:`HARRIS_SCORE_SHIFT`
+    and saturated to :data:`~repro.quant.formats.HARRIS_SCORE_FORMAT`.
+    """
+    window = np.asarray(window, dtype=np.int64)
+    side = 2 * HARRIS_WINDOW_RADIUS + 1
+    if window.shape != (side, side):
+        raise HardwareModelError(f"Harris window must be {side}x{side}")
+    gx2 = np.zeros_like(window)
+    gy2 = np.zeros_like(window)
+    gx2[:, 1:-1] = window[:, 2:] - window[:, :-2]
+    gy2[1:-1, :] = window[2:, :] - window[:-2, :]
+    sxx = int((gx2 * gx2).sum())
+    syy = int((gy2 * gy2).sum())
+    sxy = int((gx2 * gy2).sum())
+    det16 = sxx * syy - sxy * sxy
+    trace4 = sxx + syy
+    raw = (det16 << HARRIS_K_FRACTION_BITS) - HARRIS_K_FIXED * trace4 * trace4
+    return int(HARRIS_SCORE_FORMAT.saturate_integer(raw >> HARRIS_SCORE_SHIFT))
+
+
+def harris_scores_quantized(image: GrayImage, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+    """Batched :func:`harris_window_score_quantized` at ``(xs, ys)``.
+
+    Every intermediate is an int64, so the gathered box sums land on exactly
+    the accumulator values the per-window form computes.  The window-edge
+    zeroing of the per-window gradients is reproduced by the asymmetric box
+    spans: ``gx`` is undefined on the window's first/last *column* (so its
+    sum spans 7 rows x 5 cols), ``gy`` on the first/last *row* (5 x 7), and
+    their product only where both exist (5 x 5).  Points must keep the full
+    7x7 window inside the image.
+    """
+    xs = np.asarray(xs, dtype=np.int64)
+    ys = np.asarray(ys, dtype=np.int64)
+    if xs.shape != ys.shape or xs.ndim != 1:
+        raise HardwareModelError("xs and ys must be matching 1-D arrays")
+    if xs.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    height, width = image.shape
+    radius = HARRIS_WINDOW_RADIUS
+    if (
+        int(xs.min()) < radius
+        or int(xs.max()) >= width - radius
+        or int(ys.min()) < radius
+        or int(ys.max()) >= height - radius
+    ):
+        raise HardwareModelError(
+            f"Harris window of radius {radius} exceeds image bounds for some points"
+        )
+    pixels = image.pixels.astype(np.int64)
+    gx2 = np.zeros((height, width), dtype=np.int64)
+    gy2 = np.zeros((height, width), dtype=np.int64)
+    gx2[:, 1:-1] = pixels[:, 2:] - pixels[:, :-2]
+    gy2[1:-1, :] = pixels[2:, :] - pixels[:-2, :]
+    stride = width + 1
+
+    def _box(values: np.ndarray, half_rows: int, half_cols: int) -> np.ndarray:
+        # per-row prefix sums (one contiguous cumsum), then the vertical
+        # accumulation is paid only at the K requested points — the same
+        # sparse-gather shape as repro.features.harris.harris_scores_sparse,
+        # instead of a full 2-D integral image per moment channel
+        prefix = np.zeros((height, stride), dtype=np.int64)
+        np.cumsum(values, axis=1, out=prefix[:, 1:])
+        flat = prefix.reshape(-1)
+        window_rows = np.arange(-half_rows, half_rows + 1, dtype=np.int64)
+        rows = (ys[:, None] + window_rows[None, :]) * stride
+        right = np.take(flat, rows + (xs[:, None] + half_cols + 1))
+        left = np.take(flat, rows + (xs[:, None] - half_cols))
+        return (right - left).sum(axis=1)
+
+    sxx = _box(gx2 * gx2, radius, radius - 1)
+    syy = _box(gy2 * gy2, radius - 1, radius)
+    sxy = _box(gx2 * gy2, radius - 1, radius - 1)
+    det16 = sxx * syy - sxy * sxy
+    trace4 = sxx + syy
+    raw = (det16 << HARRIS_K_FRACTION_BITS) - HARRIS_K_FIXED * trace4 * trace4
+    return HARRIS_SCORE_FORMAT.saturate_integer(raw >> HARRIS_SCORE_SHIFT)
+
+
+# ---------------------------------------------------------------------------
+# Orientation (quantized v/u ratio + LUT label)
+# ---------------------------------------------------------------------------
+_CENTROID_TINY = 1e-12
+
+
+def orientation_bins_quantized(
+    us: np.ndarray, vs: np.ndarray, num_bins: int = NUM_ORIENTATION_BINS
+) -> np.ndarray:
+    """Discrete orientation labels from centroid offsets, hardware-style.
+
+    The centroid ratio ``v/u`` is quantized to the Q6.10
+    :data:`~repro.quant.formats.ORIENTATION_RATIO_FORMAT` before the LUT
+    lookup, which is the only place the fixed-point datapath can diverge
+    from the float software orientation (by at most one bin, rarely).
+    """
+    us = np.asarray(us, dtype=np.float64)
+    vs = np.asarray(vs, dtype=np.float64)
+    u_big = np.abs(us) > _CENTROID_TINY
+    safe_u = np.where(u_big, us, 1.0)
+    ratio = ORIENTATION_RATIO_FORMAT.quantize(np.where(u_big, vs / safe_u, 0.0))
+    v_quantized = np.where(u_big, ratio * us, vs)
+    labels = orientation_lut_labels(us, v_quantized, num_bins)
+    both_tiny = (np.abs(us) < _CENTROID_TINY) & (np.abs(vs) < _CENTROID_TINY)
+    return np.where(both_tiny, 0, labels).astype(np.int64)
+
+
+def orientation_bin_from_patch_quantized(
+    patch: np.ndarray, num_bins: int = NUM_ORIENTATION_BINS
+) -> int:
+    """Per-patch form of :func:`orientation_bins_quantized` (hardware unit path)."""
+    u, v = intensity_centroid(np.asarray(patch, dtype=np.float64))
+    return int(orientation_bins_quantized(np.array([u]), np.array([v]), num_bins)[0])
+
+
+def intensity_centroids_batched(
+    image: GrayImage,
+    xs: np.ndarray,
+    ys: np.ndarray,
+    radius: int,
+    grid: OrientationGrid | None = None,
+    chunk_size: int = 2048,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched intensity centroids, bit-identical to the scalar path.
+
+    One fancy-indexing gather per chunk; the masked weights, coordinate
+    products and their sums are all exact integers in float64, so the
+    reductions land on the same numbers as
+    :func:`repro.features.orientation.intensity_centroid` regardless of
+    summation order, and the single ``u = wx / total`` division is then the
+    identical float64 operation.
+    """
+    xs = np.asarray(xs, dtype=np.int64)
+    ys = np.asarray(ys, dtype=np.int64)
+    if xs.shape != ys.shape or xs.ndim != 1:
+        raise HardwareModelError("xs and ys must be matching 1-D arrays")
+    if grid is None or grid.radius != radius:
+        grid = OrientationGrid.build(radius)
+    count = xs.size
+    us = np.zeros(count, dtype=np.float64)
+    vs = np.zeros(count, dtype=np.float64)
+    if count == 0:
+        return us, vs
+    if (
+        int(xs.min()) < radius
+        or int(xs.max()) >= image.width - radius
+        or int(ys.min()) < radius
+        or int(ys.max()) >= image.height - radius
+    ):
+        raise HardwareModelError(
+            f"orientation patch of radius {radius} exceeds image bounds for some points"
+        )
+    pixels = np.ascontiguousarray(image.pixels)
+    flat_pixels = pixels.reshape(-1)
+    flat_offsets = grid.flat_offsets(pixels.shape[1])
+    centers = ys * pixels.shape[1] + xs
+    for start in range(0, count, max(1, chunk_size)):
+        stop = min(count, start + max(1, chunk_size))
+        patches = flat_pixels[centers[start:stop, None] + flat_offsets[None, :]]
+        weights = patches * grid.mask_flat
+        totals = weights.sum(axis=1)
+        wx = (weights * grid.xx_flat).sum(axis=1)
+        wy = (weights * grid.yy_flat).sum(axis=1)
+        safe = totals > 0
+        denominator = np.where(safe, totals, 1.0)
+        us[start:stop] = np.where(safe, wx / denominator, 0.0)
+        vs[start:stop] = np.where(safe, wy / denominator, 0.0)
+    return us, vs
+
+
+# ---------------------------------------------------------------------------
+# RS-BRIEF bit evaluation
+# ---------------------------------------------------------------------------
+def brief_descriptor_from_patch(
+    patch: np.ndarray, s_int: np.ndarray, d_int: np.ndarray
+) -> np.ndarray:
+    """Unrotated descriptor bytes from a smoothed patch (hardware bit order).
+
+    Evaluates the rounded test locations against the patch centre and packs
+    bit ``i`` into byte ``i // 8`` LSB-first, exactly as the BRIEF Computing
+    unit's comparators feed its output register.
+    """
+    patch = np.asarray(patch, dtype=np.int64)
+    if patch.ndim != 2 or patch.shape[0] != patch.shape[1] or patch.shape[0] % 2 == 0:
+        raise HardwareModelError("descriptor patch must be square with odd side")
+    radius = patch.shape[0] // 2
+    max_offset = int(np.abs(np.concatenate([s_int, d_int])).max())
+    if radius < max_offset:
+        raise HardwareModelError(
+            f"patch radius {radius} too small for pattern radius {max_offset}"
+        )
+    s_vals = patch[radius + s_int[:, 1], radius + s_int[:, 0]]
+    d_vals = patch[radius + d_int[:, 1], radius + d_int[:, 0]]
+    bits = (s_vals > d_vals).astype(np.uint8)
+    return np.packbits(bits, bitorder="little")

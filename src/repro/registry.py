@@ -12,11 +12,28 @@ drift between them.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Generic, List, Type, TypeVar
+import difflib
+from typing import Callable, Dict, Generic, List, Sequence, Type, TypeVar
 
 from .errors import FeatureError
 
 T = TypeVar("T")
+
+
+def unknown_name_message(kind: str, name: str, available: Sequence[str]) -> str:
+    """Error message for an unresolved registry name.
+
+    One shared formatter for every registry (and for configuration-level
+    validation), so an unknown ``ExtractorConfig.backend`` / ``frontend``
+    always reports the registered alternatives — plus a closest-match hint
+    for the common typo case.
+    """
+    listed = ", ".join(available) if available else "<none registered>"
+    message = f"unknown {kind} {name!r}; available: {listed}"
+    close = difflib.get_close_matches(name, list(available), n=1)
+    if close:
+        message += f" (did you mean {close[0]!r}?)"
+    return message
 
 
 class ClassRegistry(Generic[T]):
@@ -50,7 +67,5 @@ class ClassRegistry(Generic[T]):
     def create(self, name: str, *args, **kwargs) -> T:
         """Instantiate the class registered under ``name``."""
         if name not in self._classes:
-            raise FeatureError(
-                f"unknown {self.kind} {name!r}; available: {', '.join(self.names())}"
-            )
+            raise FeatureError(unknown_name_message(self.kind, name, self.names()))
         return self._classes[name](*args, **kwargs)

@@ -104,6 +104,37 @@ class TestExtractorConfig:
             ExtractorConfig(backend="")
 
 
+class TestRegistryErrorMessages:
+    """Unknown backend/frontend names must list the registered alternatives."""
+
+    def test_unknown_backend_lists_available_names(self):
+        from repro.errors import FeatureError
+        from repro.features import OrbExtractor
+
+        with pytest.raises(FeatureError) as excinfo:
+            OrbExtractor(ExtractorConfig(backend="nonexistent"))
+        message = str(excinfo.value)
+        for name in ("hwexact", "reference", "vectorized"):
+            assert name in message
+
+    def test_unknown_frontend_suggests_closest_match(self):
+        from repro.errors import FeatureError
+        from repro.features import OrbExtractor
+
+        with pytest.raises(FeatureError) as excinfo:
+            OrbExtractor(ExtractorConfig(frontend="vectorised"))
+        message = str(excinfo.value)
+        assert "did you mean 'vectorized'?" in message
+        assert "detection engine" in message
+
+    def test_shared_helper_formats_empty_registry(self):
+        from repro.registry import unknown_name_message
+
+        message = unknown_name_message("widget", "x", [])
+        assert "unknown widget 'x'" in message
+        assert "<none registered>" in message
+
+
 class TestMatcherConfig:
     def test_defaults_valid(self):
         from repro.config import MatcherConfig

@@ -97,6 +97,44 @@ class TestFixedPoint:
         once = fmt.quantize(value)
         assert fmt.quantize(once) == pytest.approx(float(once))
 
+    def test_saturation_lands_exactly_on_range_bounds(self):
+        fmt = FixedPointFormat(integer_bits=4, fraction_bits=4)
+        assert fmt.quantize(1e9) == fmt.max_value
+        assert fmt.quantize(-1e9) == fmt.min_value
+        # one resolution step beyond the bounds still saturates exactly
+        assert fmt.quantize(fmt.max_value + fmt.resolution) == fmt.max_value
+        assert fmt.quantize(fmt.min_value - fmt.resolution) == fmt.min_value
+        assert fmt.to_integer(1e9) == int(fmt.max_value * fmt.scale)
+        assert fmt.to_integer(-1e9) == int(fmt.min_value * fmt.scale)
+
+    def test_negative_value_rounding_is_banker_style(self):
+        fmt = FixedPointFormat(integer_bits=4, fraction_bits=2)
+        assert fmt.quantize(-1.3) == pytest.approx(-1.25)
+        assert fmt.quantize(-1.4) == pytest.approx(-1.5)
+        # exact half-steps round to even, matching np.rint on positives
+        assert fmt.quantize(-1.125) == pytest.approx(-1.0)
+        assert fmt.quantize(-1.375) == pytest.approx(-1.5)
+        assert fmt.to_integer(-0.3) == -1
+        assert fmt.from_integer(fmt.to_integer(-3.75)) == pytest.approx(-3.75)
+
+    def test_unsigned_format_clamps_negatives_to_zero(self):
+        fmt = FixedPointFormat(integer_bits=3, fraction_bits=3, signed=False)
+        assert fmt.min_value == 0.0
+        assert fmt.total_bits == 6  # no sign bit
+        assert fmt.quantize(-2.5) == 0.0
+        assert fmt.to_integer(-2.5) == 0
+        assert fmt.quantize(7.875) == fmt.max_value
+        assert fmt.saturate_integer(-17) == 0
+        assert fmt.saturate_integer(1000) == int(fmt.max_value * fmt.scale)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_non_finite_inputs_rejected(self, bad):
+        fmt = FixedPointFormat(integer_bits=6, fraction_bits=10)
+        with pytest.raises(HardwareModelError):
+            fmt.quantize(bad)
+        with pytest.raises(HardwareModelError):
+            fmt.to_integer(np.array([1.0, bad]))
+
 
 class TestAxiPort:
     def test_zero_bytes_free(self):

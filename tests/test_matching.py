@@ -224,3 +224,47 @@ class TestVectorizedSelectionEquivalence:
             assert matcher.last_stats.rejected_ratio == rejected["ratio"]
             assert matcher.last_stats.rejected_cross_check == rejected["cross"]
             assert matcher.last_stats.accepted == len(expected)
+
+
+class TestMatchArrays:
+    """The array fast path must mirror the Match-object API exactly."""
+
+    @pytest.mark.parametrize("cross_check", [False, True])
+    def test_arrays_equal_objects_and_stats(self, cross_check):
+        rng = np.random.default_rng(9)
+        config = MatcherConfig(
+            max_hamming_distance=48, ratio_threshold=0.9, cross_check=cross_check
+        )
+        for trial in range(10):
+            query = rng.integers(0, 256, (12, 8), dtype=np.uint8)
+            train = rng.integers(0, 256, (15, 8), dtype=np.uint8)
+            train[:5] = query[:5]
+            object_matcher = BruteForceMatcher(config)
+            array_matcher = BruteForceMatcher(config)
+            matches = object_matcher.match(query, train)
+            arrays = array_matcher.match_arrays(query, train)
+            assert arrays.to_matches() == matches
+            assert arrays.size == len(matches)
+            assert arrays.query_indices.tolist() == [m.query_index for m in matches]
+            assert arrays.train_indices.tolist() == [m.train_index for m in matches]
+            assert arrays.distances.tolist() == [m.distance for m in matches]
+            assert vars(array_matcher.last_stats) == vars(object_matcher.last_stats)
+
+    def test_empty_inputs_yield_empty_arrays(self):
+        from repro.matching import MatchArrays
+
+        arrays = BruteForceMatcher().match_arrays(
+            np.zeros((0, 32), dtype=np.uint8), _random_descriptors(4)
+        )
+        assert isinstance(arrays, MatchArrays)
+        assert arrays.size == 0
+        assert arrays.to_matches() == []
+
+    def test_no_match_objects_materialised_on_array_path(self):
+        query = _random_descriptors(6, seed=3)
+        arrays = BruteForceMatcher().match_arrays(query, query)
+        # the fast path returns plain int64 arrays, one row per query (every
+        # query matches itself at distance 0 here)
+        assert arrays.query_indices.dtype == np.int64
+        assert arrays.distances.tolist() == [0] * 6
+        assert arrays.train_indices.tolist() == list(range(6))

@@ -116,6 +116,27 @@ class TestServedSlam:
                 SlamSystem(config).run(sequence, frame_server=server)
 
 
+class TestServingEngineMatrix:
+    """FrameServer must serve every registered engine pair unchanged."""
+
+    @pytest.mark.parametrize("engine", ["reference", "vectorized", "hwexact"])
+    def test_served_results_identical_to_sequential(
+        self, engine, serving_config, serving_images
+    ):
+        from dataclasses import replace
+
+        config = replace(serving_config, frontend=engine, backend=engine)
+        extractor = OrbExtractor(config)
+        sequential = [extractor.extract(image) for image in serving_images[:4]]
+        with FrameServer(extractor=extractor, max_workers=3) as server:
+            served = server.extract_many(serving_images[:4])
+        assert extractor.frontend.name == engine
+        assert extractor.backend.name == engine
+        for seq_result, par_result in zip(sequential, served):
+            assert _feature_key(seq_result) == _feature_key(par_result)
+            assert vars(seq_result.profile) == vars(par_result.profile)
+
+
 class TestParallelBatchRunner:
     def test_parallel_sweep_identical_to_sequential(self, serving_config):
         config = SlamConfig(
