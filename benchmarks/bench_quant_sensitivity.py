@@ -1,0 +1,143 @@
+"""Accuracy vs register width: the paper's Table-1-style sensitivity sweep.
+
+The paper fixes its datapath widths (24-bit Harris score register fed
+through a >>26 rescale, Q6.10 orientation ratio) once; this report asks
+what those choices *buy* by sweeping each width through
+:func:`repro.analysis.run_quantization_divergence` — the full float-vs-fixed
+harness (keypoint agreement, descriptor agreement, trajectory divergence,
+per-run ATE) — with :func:`repro.quant.quantization_overrides` rebinding
+the constant under test.  Two sweeps are printed as one JSON report:
+
+* ``harris_score_shift`` — how many low-order bits the Harris rescale
+  discards before the 24-bit score register (smaller shift = finer scores
+  but saturation risk, larger = coarser ranking);
+* ``orientation_ratio_fraction_bits`` — fraction bits of the Q6.f centroid
+  ratio feeding the 32-way orientation LUT.
+
+Each row records the effective register width next to the accuracy columns,
+so the report reads like the paper's resource/accuracy trade-off tables.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import run_quantization_divergence
+from repro.quant import FixedPointFormat
+from repro.quant import kernels as quant_kernels
+
+from conftest import print_section, write_report_file
+
+#: Keep the sweep quick: small frames, short sequence, both SLAM runs per row.
+SWEEP_KWARGS = dict(
+    sequence_name="fr1/xyz",
+    num_frames=5,
+    image_width=160,
+    image_height=120,
+    max_features=150,
+)
+
+HARRIS_SHIFT_SWEEP = [20, 23, 26, 29]
+RATIO_FRACTION_SWEEP = [2, 4, 6, 10]
+
+
+def _row(divergence, **extra):
+    """Flatten one divergence report into a sweep-table row."""
+    extraction = divergence["extraction"]
+    return {
+        **extra,
+        "fixed_ate_mean_cm": divergence["fixed"]["ate_mean_cm"],
+        "float_ate_mean_cm": divergence["float"]["ate_mean_cm"],
+        "ate_delta_cm": divergence["ate_delta_cm"],
+        "trajectory_divergence_rmse_cm": divergence["trajectory_divergence_rmse_cm"],
+        "tracking_success_ratio": divergence["fixed"]["tracking_success_ratio"],
+        "keypoint_jaccard": extraction["keypoint_jaccard"],
+        "fixed_coverage_1px": extraction["fixed_coverage_1px"],
+        "descriptor_identical_ratio": extraction["descriptor_identical_ratio"],
+        "descriptor_mean_hamming_bits": extraction["descriptor_mean_hamming_bits"],
+    }
+
+
+def test_quant_sensitivity_report():
+    baseline = run_quantization_divergence(**SWEEP_KWARGS)
+    shift_rows = [
+        _row(
+            run_quantization_divergence(**SWEEP_KWARGS, harris_score_shift=shift),
+            harris_score_shift=shift,
+            score_register_bits=quant_kernels.HARRIS_SCORE_FORMAT.total_bits,
+            is_default=(shift == quant_kernels.HARRIS_SCORE_SHIFT),
+        )
+        for shift in HARRIS_SHIFT_SWEEP
+    ]
+    ratio_rows = []
+    for fraction_bits in RATIO_FRACTION_SWEEP:
+        ratio_format = FixedPointFormat(integer_bits=6, fraction_bits=fraction_bits)
+        ratio_rows.append(
+            _row(
+                run_quantization_divergence(
+                    **SWEEP_KWARGS, orientation_ratio_format=ratio_format
+                ),
+                orientation_ratio_fraction_bits=fraction_bits,
+                orientation_ratio_total_bits=ratio_format.total_bits,
+                is_default=(fraction_bits == 10),
+            )
+        )
+    report = {
+        "workload": SWEEP_KWARGS,
+        "baseline": _row(baseline, harris_score_shift=26, ratio_fraction_bits=10),
+        "harris_score_shift_sweep": shift_rows,
+        "orientation_ratio_sweep": ratio_rows,
+    }
+    print_section("quantization sensitivity: accuracy vs register width")
+    print(json.dumps(report, indent=2))
+    write_report_file("bench_quant_sensitivity.json", report)
+
+    # overrides restore the module defaults after every run
+    assert quant_kernels.HARRIS_SCORE_SHIFT == 26
+    assert quant_kernels.ORIENTATION_RATIO_FORMAT.fraction_bits == 10
+    # the default-width rows reproduce the un-overridden baseline exactly
+    default_shift_row = next(r for r in shift_rows if r["is_default"])
+    default_ratio_row = next(r for r in ratio_rows if r["is_default"])
+    for key in ("fixed_ate_mean_cm", "trajectory_divergence_rmse_cm", "keypoint_jaccard"):
+        assert default_shift_row[key] == report["baseline"][key]
+        assert default_ratio_row[key] == report["baseline"][key]
+    # every width keeps the fixed pipeline functional on the small workload
+    for row in shift_rows + ratio_rows:
+        assert row["tracking_success_ratio"] > 0.5
+    # the quantized detector stays near the float detector at paper widths
+    assert default_shift_row["fixed_coverage_1px"] > 0.5
+    # the overrides must actually bite: if quantization_overrides ever became
+    # a silent no-op, every row would equal the baseline and this sweep would
+    # publish a flat, meaningless sensitivity table
+    probe_keys = (
+        "keypoint_jaccard",
+        "descriptor_identical_ratio",
+        "fixed_ate_mean_cm",
+        "trajectory_divergence_rmse_cm",
+    )
+    non_default = [r for r in shift_rows + ratio_rows if not r["is_default"]]
+    assert any(
+        row[key] != report["baseline"][key] for row in non_default for key in probe_keys
+    ), "no non-default register width changed any output: overrides inert?"
+
+
+@pytest.mark.slow
+def test_quant_sensitivity_monotone_descriptor_agreement():
+    """More ratio fraction bits must not hurt descriptor/orientation fidelity.
+
+    Descriptor bits depend on the orientation label, so coarser Q6.f ratios
+    can only flip labels away from the float reference.  Agreement at the
+    paper's Q6.10 must be at least that of the coarsest Q6.2 sweep point.
+    """
+    coarse = run_quantization_divergence(
+        **SWEEP_KWARGS,
+        orientation_ratio_format=FixedPointFormat(integer_bits=6, fraction_bits=2),
+    )
+    fine = run_quantization_divergence(
+        **SWEEP_KWARGS,
+        orientation_ratio_format=FixedPointFormat(integer_bits=6, fraction_bits=10),
+    )
+    assert (
+        fine["extraction"]["descriptor_identical_ratio"]
+        >= coarse["extraction"]["descriptor_identical_ratio"]
+    )

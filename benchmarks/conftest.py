@@ -9,6 +9,9 @@ single round; micro-kernels use the default timing loop.
 
 from __future__ import annotations
 
+import json
+import os
+
 import pytest
 
 from repro.config import ExtractorConfig, PyramidConfig, SlamConfig, TrackerConfig
@@ -20,6 +23,20 @@ def print_section(title: str) -> None:
     print("\n" + "=" * 72)
     print(title)
     print("=" * 72)
+
+
+def write_report_file(name: str, report: dict) -> None:
+    """Also write a report as JSON when ``BENCH_REPORT_DIR`` is set.
+
+    Reports always print to stdout; CI sets the environment variable so the
+    same JSON lands in a directory it uploads as a build artifact.
+    """
+    report_dir = os.environ.get("BENCH_REPORT_DIR")
+    if not report_dir:
+        return
+    os.makedirs(report_dir, exist_ok=True)
+    with open(os.path.join(report_dir, name), "w") as handle:
+        json.dump(report, handle, indent=2)
 
 
 @pytest.fixture(scope="session")

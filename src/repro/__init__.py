@@ -16,6 +16,9 @@ ORB-SLAM on FPGA Platform" (Liu, Yang, Chen, Zhao -- DAC 2019):
 * :mod:`repro.serving` -- the :class:`~repro.serving.FrameServer`: many
   frames in flight through one shared engine/backend pair on a bounded
   thread pool.
+* :mod:`repro.cluster` -- the :class:`~repro.cluster.ClusterServer`:
+  process-sharded serving, one engine pair per worker, zero-copy frame
+  hand-off through shared-memory ring slots (see ``docs/serving.md``).
 * :mod:`repro.matching`, :mod:`repro.geometry`, :mod:`repro.optimization`,
   :mod:`repro.slam` -- the software SLAM pipeline (matching, PnP + RANSAC,
   Levenberg-Marquardt pose optimisation, mapping, evaluation).

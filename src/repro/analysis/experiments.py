@@ -250,6 +250,54 @@ class BatchRunRecord:
         }
 
 
+def _check_spec_resolution(config: SlamConfig, spec: SequenceSpec) -> None:
+    """Reject specs whose frames cannot be served by the configured engine."""
+    if (spec.image_width, spec.image_height) != (
+        config.extractor.image_width,
+        config.extractor.image_height,
+    ):
+        raise ReproError(
+            f"sequence {spec.name!r} resolution {spec.image_width}x{spec.image_height} "
+            "does not match the shared extractor configuration"
+        )
+
+
+def _execute_spec(
+    config: SlamConfig,
+    spec: SequenceSpec,
+    tracker: Optional[TrackerConfig],
+    label: str,
+    max_frames: Optional[int],
+    extractor: Optional[OrbExtractor] = None,
+    frame_server=None,
+) -> BatchRunRecord:
+    """Run one sequence and summarise it as a :class:`BatchRunRecord`.
+
+    Module-level so worker *processes* can run it: when ``extractor`` is
+    omitted, the :class:`SlamSystem` builds its own engine from ``config``
+    (each shard of :meth:`BatchRunner.run_all_multiprocess` owns one engine,
+    exactly like a cluster worker).
+    """
+    _check_spec_resolution(config, spec)
+    run_config = config if tracker is None else replace(config, tracker=tracker)
+    sequence = make_sequence(spec)
+    result = SlamSystem(run_config, extractor=extractor).run(
+        sequence, max_frames=max_frames, frame_server=frame_server
+    )
+    ate = result.ate()
+    workload = result.mean_workload()
+    return BatchRunRecord(
+        sequence=spec.name,
+        tracker_label=label,
+        num_frames=result.num_frames,
+        ate_mean_cm=ate.mean_cm,
+        ate_rmse_cm=ate.rmse_cm,
+        tracking_success_ratio=result.tracking_success_ratio,
+        features_per_frame=workload.get("features_retained", 0.0),
+        descriptors_computed=workload.get("descriptors_computed", 0.0),
+    )
+
+
 @dataclass
 class BatchRunner:
     """Run many sequences / tracker configurations through ONE compute engine.
@@ -262,6 +310,11 @@ class BatchRunner:
     amortise setup over five sequences x two descriptor modes.  Tracker-side
     settings may vary per run; the extractor configuration is fixed for the
     lifetime of the runner (a different extractor config needs a new engine).
+
+    :meth:`run_all_multiprocess` is the exception to the one-shared-engine
+    rule: it shards whole sequences across worker *processes*, each building
+    its own identical engine, so sweeps scale past the GIL (see
+    ``docs/serving.md``).
     """
 
     config: SlamConfig = field(default_factory=SlamConfig)
@@ -279,30 +332,14 @@ class BatchRunner:
         frame_server=None,
     ) -> BatchRunRecord:
         """Run one sequence through the shared engine; no record bookkeeping."""
-        if (spec.image_width, spec.image_height) != (
-            self.config.extractor.image_width,
-            self.config.extractor.image_height,
-        ):
-            raise ReproError(
-                f"sequence {spec.name!r} resolution {spec.image_width}x{spec.image_height} "
-                "does not match the shared extractor configuration"
-            )
-        config = self.config if tracker is None else replace(self.config, tracker=tracker)
-        sequence = make_sequence(spec)
-        result = SlamSystem(config, extractor=self.extractor).run(
-            sequence, max_frames=self.max_frames, frame_server=frame_server
-        )
-        ate = result.ate()
-        workload = result.mean_workload()
-        return BatchRunRecord(
-            sequence=spec.name,
-            tracker_label=label,
-            num_frames=result.num_frames,
-            ate_mean_cm=ate.mean_cm,
-            ate_rmse_cm=ate.rmse_cm,
-            tracking_success_ratio=result.tracking_success_ratio,
-            features_per_frame=workload.get("features_retained", 0.0),
-            descriptors_computed=workload.get("descriptors_computed", 0.0),
+        return _execute_spec(
+            self.config,
+            spec,
+            tracker,
+            label,
+            self.max_frames,
+            extractor=self.extractor,
+            frame_server=frame_server,
         )
 
     def run_sequence(
@@ -359,6 +396,60 @@ class BatchRunner:
         with ThreadPoolExecutor(max_workers=workers) as pool:
             futures = [
                 pool.submit(self._build_record, spec, tracker, label) for spec in specs
+            ]
+            records, first_error = [], None
+            for future in futures:
+                try:
+                    records.append(future.result())
+                except Exception as error:  # keep completed runs, like run_all
+                    if first_error is None:
+                        first_error = error
+        self.records.extend(records)
+        if first_error is not None:
+            raise first_error
+        return records
+
+    def run_all_multiprocess(
+        self,
+        specs: Sequence[SequenceSpec],
+        tracker: Optional[TrackerConfig] = None,
+        label: str = "default",
+        num_workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ) -> List[BatchRunRecord]:
+        """Shard the sweep across worker processes (one engine per worker).
+
+        Each spec runs as one task in a process pool: the worker builds its
+        own engine from this runner's configuration and executes the whole
+        sequence, so independent sweeps scale across host cores instead of
+        sharing one GIL (``run_all_parallel`` only overlaps the numpy
+        kernels).  Records come back in spec order and — like every
+        execution mode of this runner — are identical to the sequential
+        sweep, because each run is a pure function of (config, spec).
+        """
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        from ..cluster.context import get_mp_context
+
+        if num_workers is not None and num_workers <= 0:
+            raise ReproError("num_workers must be positive")
+        for spec in specs:  # fail fast, before paying any process spin-up
+            _check_spec_resolution(self.config, spec)
+        if not specs:
+            return []
+        workers = (
+            num_workers
+            if num_workers is not None
+            else min(len(specs), multiprocessing.cpu_count())
+        )
+        context = get_mp_context(start_method)
+        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+            futures = [
+                pool.submit(
+                    _execute_spec, self.config, spec, tracker, label, self.max_frames
+                )
+                for spec in specs
             ]
             records, first_error = [], None
             for future in futures:

@@ -24,7 +24,7 @@ Both functions return plain dictionaries so the benchmark harness
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -45,23 +45,6 @@ def _default_parity_config() -> ExtractorConfig:
         frontend="hwexact",
         backend="hwexact",
     )
-
-
-def _feature_records(result: ExtractionResult) -> List[tuple]:
-    return [
-        (
-            f.keypoint.level,
-            f.keypoint.x,
-            f.keypoint.y,
-            f.score,
-            f.keypoint.orientation_bin,
-            f.keypoint.orientation_rad,
-            f.descriptor.tobytes(),
-            f.x0,
-            f.y0,
-        )
-        for f in result.features
-    ]
 
 
 def run_hwexact_parity(
@@ -90,8 +73,8 @@ def run_hwexact_parity(
     for index, image in enumerate(images):
         engine_result = engine_extractor.extract(image)
         hw_result, _ = accelerator.extract_quantized(image)
-        engine_records = _feature_records(engine_result)
-        hw_records = _feature_records(hw_result)
+        engine_records = engine_result.feature_records()
+        hw_records = hw_result.feature_records()
         mismatches = sum(a != b for a, b in zip(engine_records, hw_records))
         mismatches += abs(len(engine_records) - len(hw_records))
         total_mismatches += mismatches
@@ -188,6 +171,8 @@ def run_quantization_divergence(
     image_width: int = 160,
     image_height: int = 120,
     max_features: int = 150,
+    harris_score_shift: Optional[int] = None,
+    orientation_ratio_format=None,
 ) -> Dict[str, object]:
     """Float-vs-fixed divergence at extraction and trajectory level.
 
@@ -195,7 +180,32 @@ def run_quantization_divergence(
     once with the float ``vectorized`` engine pair, once with the quantized
     ``hwexact`` pair — and reports per-frame extraction agreement plus the
     ATE of each run and the RMSE between the two estimated trajectories.
+
+    ``harris_score_shift`` / ``orientation_ratio_format`` optionally rebind
+    the datapath's register-width choices for the duration of the run
+    (:func:`repro.quant.quantization_overrides`), which is how
+    ``benchmarks/bench_quant_sensitivity.py`` charts accuracy against
+    arithmetic precision.  The float pipeline never touches the quantized
+    kernels, so overrides only move the ``fixed`` side.
     """
+    from ..quant import quantization_overrides
+
+    with quantization_overrides(
+        harris_score_shift=harris_score_shift,
+        orientation_ratio_format=orientation_ratio_format,
+    ):
+        return _quantization_divergence_body(
+            sequence_name, num_frames, image_width, image_height, max_features
+        )
+
+
+def _quantization_divergence_body(
+    sequence_name: str,
+    num_frames: int,
+    image_width: int,
+    image_height: int,
+    max_features: int,
+) -> Dict[str, object]:
     extractor_config = ExtractorConfig(
         image_width=image_width,
         image_height=image_height,

@@ -1,0 +1,33 @@
+"""Multi-process sharded serving with shared-memory frame transport.
+
+:class:`ClusterServer` spawns N worker processes, each owning one
+engine/backend pair, and streams frames to them through
+``multiprocessing.shared_memory`` ring slots (no pixel pickling).  It
+mirrors the thread server's semantics — bounded in-flight back-pressure,
+in-order results, bit-identical extraction — while scaling past the single
+GIL.  See ``docs/serving.md`` for when to pick which server.
+"""
+
+from .router import (
+    BySequencePolicy,
+    RoundRobinPolicy,
+    ShardPolicy,
+    available_policies,
+    create_policy,
+    register_policy,
+)
+from .server import ClusterServer, ClusterStats, WorkerStats
+from .shared_ring import SharedFrameRing
+
+__all__ = [
+    "ClusterServer",
+    "ClusterStats",
+    "WorkerStats",
+    "SharedFrameRing",
+    "ShardPolicy",
+    "RoundRobinPolicy",
+    "BySequencePolicy",
+    "available_policies",
+    "create_policy",
+    "register_policy",
+]

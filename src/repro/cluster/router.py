@@ -1,0 +1,69 @@
+"""Shard routing policies for the cluster server.
+
+A policy decides which worker (shard) serves a submitted frame.  Policies
+follow the same name → class registry idiom as the detection engines and
+keypoint backends (:mod:`repro.registry`), so configuration stays a plain
+string and unknown names report the registered alternatives.
+
+* ``round_robin`` — spread frames evenly across workers.  Best for a single
+  stream of independent frames (throughput-oriented serving).
+* ``by_sequence`` — pin every frame carrying the same ``shard_key`` to one
+  worker.  Best for multi-tenant serving where each client's frames should
+  ride one engine (per-sequence cache locality, deterministic placement).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import ClassVar, List, Optional
+
+from ..errors import ReproError
+from ..registry import ClassRegistry
+
+
+class ShardPolicy(ABC):
+    """Maps a submission to the worker index that will serve it."""
+
+    name: ClassVar[str] = "abstract"
+
+    @abstractmethod
+    def route(self, job_index: int, shard_key: Optional[int], num_workers: int) -> int:
+        """Return the worker index in ``[0, num_workers)`` for one frame.
+
+        ``job_index`` is the global submission counter; ``shard_key`` is the
+        caller-supplied affinity key (may be ``None``).
+        """
+
+
+_POLICIES: ClassRegistry[ShardPolicy] = ClassRegistry("shard policy")
+register_policy = _POLICIES.register
+
+
+def create_policy(name: str) -> ShardPolicy:
+    """Instantiate the shard policy registered under ``name``."""
+    return _POLICIES.create(name)
+
+
+def available_policies() -> List[str]:
+    """Registered policy names, sorted."""
+    return _POLICIES.names()
+
+
+@register_policy("round_robin")
+class RoundRobinPolicy(ShardPolicy):
+    """Cycle submissions across workers; ignores the shard key."""
+
+    def route(self, job_index: int, shard_key: Optional[int], num_workers: int) -> int:
+        return job_index % num_workers
+
+
+@register_policy("by_sequence")
+class BySequencePolicy(ShardPolicy):
+    """Pin all frames of one shard key (e.g. one sequence) to one worker."""
+
+    def route(self, job_index: int, shard_key: Optional[int], num_workers: int) -> int:
+        if shard_key is None:
+            raise ReproError(
+                "the by_sequence shard policy requires submit(..., shard_key=...)"
+            )
+        return int(shard_key) % num_workers

@@ -1,0 +1,533 @@
+"""Process-sharded frame serving: one engine per worker process.
+
+:class:`ClusterServer` is the multi-core counterpart of
+:class:`repro.serving.FrameServer`.  The thread server keeps one engine busy
+from many threads, but every Python-level stage of the extractor shares the
+producer's GIL, so serving saturates near one host core.  The cluster
+spawns ``num_workers`` worker *processes*, each owning a full
+engine/backend pair (any registered pair: ``reference``, ``vectorized``,
+``hwexact``), and moves pixels through a shared-memory ring
+(:mod:`repro.cluster.shared_ring`) so no frame is ever pickled.
+
+Semantics mirror the thread server deliberately:
+
+* **back-pressure** — at most ``max_in_flight`` frames are in flight; a
+  submit beyond that blocks the producer instead of queueing unbounded
+  pixels (the ring slot pool is the bound);
+* **in-order results** — :meth:`ClusterServer.extract_many` returns results
+  in submission order regardless of worker completion order;
+* **identical output** — every worker builds its engine from the same
+  :class:`~repro.config.ExtractorConfig`, extraction is a pure per-frame
+  function, and the shared-memory round trip is byte-exact, so results are
+  bit-identical to sequential extraction (``tests/test_cluster.py``);
+* **clean lifecycle** — context manager, graceful drain on close, and
+  crashed-worker detection that fails the affected submissions with a
+  :class:`~repro.errors.ReproError` instead of hanging the producer.
+
+Placement is delegated to a :class:`~repro.cluster.router.ShardPolicy`
+(``round_robin`` or ``by_sequence``); per-worker and aggregate counters
+live in :class:`ClusterStats`, comparable field-for-field with the thread
+server's :class:`~repro.serving.ServingStats`.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..config import ExtractorConfig
+from ..errors import ReproError
+from ..features import ExtractionResult
+from ..image import GrayImage
+from ..serving.frame_server import LATENCY_WINDOW, percentile_ms
+from .context import get_mp_context
+from .router import ShardPolicy, create_policy
+from .shared_ring import SharedFrameRing
+from .worker import SHUTDOWN, worker_main
+
+#: How often the collector wakes to check worker health (seconds).
+_HEALTH_POLL_S = 0.05
+
+
+@dataclass
+class WorkerStats:
+    """Counters of one worker process, maintained by the parent."""
+
+    worker_id: int
+    frames_completed: int = 0
+    frames_failed: int = 0
+    queue_depth: int = 0
+    alive: bool = True
+    # bounded recent-latency window (see serving.frame_server.LATENCY_WINDOW)
+    latencies_s: "deque[float]" = field(
+        default_factory=lambda: deque(maxlen=LATENCY_WINDOW), repr=False
+    )
+
+    @property
+    def latency_p50_ms(self) -> float:
+        # tuple() snapshots the deque in one C-level pass; appends happen
+        # under ClusterStats._lock, which aggregate readers hold instead
+        return percentile_ms(tuple(self.latencies_s), 50.0)
+
+    @property
+    def latency_p95_ms(self) -> float:
+        return percentile_ms(tuple(self.latencies_s), 95.0)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "worker_id": self.worker_id,
+            "frames_completed": self.frames_completed,
+            "frames_failed": self.frames_failed,
+            "queue_depth": self.queue_depth,
+            "alive": self.alive,
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p95_ms": self.latency_p95_ms,
+        }
+
+
+@dataclass
+class ClusterStats:
+    """Aggregate + per-worker counters of a :class:`ClusterServer`.
+
+    Field names match :class:`repro.serving.ServingStats` where the concept
+    matches, so thread-server and cluster reports line up column for column.
+    """
+
+    frames_submitted: int = 0
+    frames_completed: int = 0
+    frames_failed: int = 0
+    max_in_flight: int = 0
+    workers: List[WorkerStats] = field(default_factory=list)
+    _in_flight: int = 0
+    _first_submit_s: Optional[float] = None
+    _last_completed_s: Optional[float] = None
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    # -- bookkeeping (server-internal) ------------------------------------
+    def _submitted(self, worker_id: int) -> None:
+        with self._lock:
+            if self._first_submit_s is None:
+                self._first_submit_s = time.perf_counter()
+            self.frames_submitted += 1
+            self._in_flight += 1
+            self.max_in_flight = max(self.max_in_flight, self._in_flight)
+            self.workers[worker_id].queue_depth += 1
+
+    def _completed(self, worker_id: int, latency_s: float) -> None:
+        with self._lock:
+            self._last_completed_s = time.perf_counter()
+            self.frames_completed += 1
+            self._in_flight -= 1
+            worker = self.workers[worker_id]
+            worker.frames_completed += 1
+            worker.queue_depth -= 1
+            worker.latencies_s.append(latency_s)
+
+    def _failed(self, worker_id: int) -> None:
+        with self._lock:
+            self._last_completed_s = time.perf_counter()
+            self.frames_failed += 1
+            self._in_flight -= 1
+            worker = self.workers[worker_id]
+            worker.frames_failed += 1
+            worker.queue_depth -= 1
+
+    def _abandoned(self, worker_id: int) -> None:
+        """Undo a submission whose queue hand-off failed (never extracted)."""
+        with self._lock:
+            self.frames_submitted -= 1
+            self._in_flight -= 1
+            self.workers[worker_id].queue_depth -= 1
+
+    # -- derived metrics ---------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Frames submitted but not yet completed/failed, across all workers."""
+        return self._in_flight
+
+    @property
+    def latency_p50_ms(self) -> float:
+        return percentile_ms(self._all_latencies(), 50.0)
+
+    @property
+    def latency_p95_ms(self) -> float:
+        return percentile_ms(self._all_latencies(), 95.0)
+
+    @property
+    def elapsed_s(self) -> float:
+        """Wall-clock span from first submit to last completion."""
+        if self._first_submit_s is None or self._last_completed_s is None:
+            return 0.0
+        return max(0.0, self._last_completed_s - self._first_submit_s)
+
+    @property
+    def throughput_fps(self) -> float:
+        """Completed frames per wall-clock second across the whole cluster."""
+        elapsed = self.elapsed_s
+        if elapsed <= 0.0:
+            return 0.0
+        return self.frames_completed / elapsed
+
+    def _all_latencies(self) -> List[float]:
+        with self._lock:
+            return [value for worker in self.workers for value in worker.latencies_s]
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly snapshot (benchmark reports)."""
+        with self._lock:  # per-worker rows snapshot under the append lock
+            workers = [worker.as_dict() for worker in self.workers]
+        return {
+            "frames_submitted": self.frames_submitted,
+            "frames_completed": self.frames_completed,
+            "frames_failed": self.frames_failed,
+            "max_in_flight": self.max_in_flight,
+            "queue_depth": self.queue_depth,
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p95_ms": self.latency_p95_ms,
+            "elapsed_s": self.elapsed_s,
+            "throughput_fps": self.throughput_fps,
+            "workers": workers,
+        }
+
+
+@dataclass
+class _PendingJob:
+    future: "Future[ExtractionResult]"
+    worker_id: int
+    slot: int
+
+
+class _SequenceShard:
+    """Protocol adapter binding one shard key to a cluster server.
+
+    Satisfies the frame-serving protocol (``submit`` / ``max_in_flight`` /
+    ``extractor_config``), so a ``by_sequence`` cluster can drive
+    :meth:`repro.slam.SlamSystem.run` — every frame of the sequence lands on
+    the worker the key hashes to.  Lifecycle stays with the parent server.
+    """
+
+    def __init__(self, server: "ClusterServer", shard_key: int) -> None:
+        self._server = server
+        self.shard_key = int(shard_key)
+
+    @property
+    def extractor_config(self) -> ExtractorConfig:
+        return self._server.extractor_config
+
+    @property
+    def max_in_flight(self) -> int:
+        return self._server.max_in_flight
+
+    def submit(self, image: GrayImage) -> "Future[ExtractionResult]":
+        return self._server.submit(image, shard_key=self.shard_key)
+
+
+class ClusterServer:
+    """Multi-process sharded frame extraction with shared-memory transport.
+
+    Parameters
+    ----------
+    config:
+        Extractor configuration every worker builds its engine pair from
+        (defaults to :class:`~repro.config.ExtractorConfig`).  The shared
+        ring sizes its slots for ``config.image_shape``; larger frames are
+        rejected at submit.
+    num_workers:
+        Worker process count (shards).
+    policy:
+        Shard policy name (``"round_robin"`` or ``"by_sequence"``) or a
+        :class:`~repro.cluster.router.ShardPolicy` instance.
+    max_in_flight:
+        Back-pressure bound across the whole cluster; defaults to
+        ``2 * num_workers`` like the thread server.
+    start_method:
+        ``multiprocessing`` start method; defaults to ``fork`` where
+        available (fast spin-up), else ``spawn``.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ExtractorConfig] = None,
+        num_workers: int = 2,
+        policy: str | ShardPolicy = "round_robin",
+        max_in_flight: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if num_workers <= 0:
+            raise ReproError("num_workers must be positive")
+        self.config = config or ExtractorConfig()
+        self.num_workers = num_workers
+        self.max_in_flight = 2 * num_workers if max_in_flight is None else max_in_flight
+        if self.max_in_flight < num_workers:
+            raise ReproError("max_in_flight must be >= num_workers")
+        self.policy = policy if isinstance(policy, ShardPolicy) else create_policy(policy)
+        context = get_mp_context(start_method)
+        slot_bytes = self.config.image_height * self.config.image_width
+        self._ring = SharedFrameRing(self.max_in_flight, slot_bytes)
+        self.stats = ClusterStats(
+            workers=[WorkerStats(worker_id=index) for index in range(num_workers)]
+        )
+        self._result_queue = context.Queue()
+        self._job_queues = [context.Queue() for _ in range(num_workers)]
+        self._processes = []
+        self._pending: Dict[int, _PendingJob] = {}
+        self._lock = threading.Lock()
+        self._next_job_id = 0
+        self._closed = False
+        self._draining = False
+        try:
+            for worker_id in range(num_workers):
+                process = context.Process(
+                    target=worker_main,
+                    args=(
+                        worker_id,
+                        self.config,
+                        self._ring.name,
+                        slot_bytes,
+                        self._job_queues[worker_id],
+                        self._result_queue,
+                    ),
+                    name=f"cluster-worker-{worker_id}",
+                    daemon=True,
+                )
+                process.start()
+                self._processes.append(process)
+        except BaseException:
+            # partial spin-up: tear down what started before surfacing the
+            # error, so no worker blocks on a queue that will never be fed
+            for process in self._processes:
+                process.terminate()
+                process.join(timeout=5.0)
+            for job_queue in self._job_queues:
+                job_queue.close()
+                job_queue.cancel_join_thread()
+            self._result_queue.close()
+            self._result_queue.cancel_join_thread()
+            self._ring.close()
+            raise
+        self._collector = threading.Thread(
+            target=self._collect_results, name="cluster-collector", daemon=True
+        )
+        self._collector.start()
+
+    # -- protocol ----------------------------------------------------------
+    @property
+    def extractor_config(self) -> ExtractorConfig:
+        """Configuration every worker's engine pair was built from."""
+        return self.config
+
+    def sequence_handle(self, shard_key: int) -> _SequenceShard:
+        """Frame-serving view pinned to ``shard_key`` (``by_sequence`` use)."""
+        return _SequenceShard(self, shard_key)
+
+    # -- serving -----------------------------------------------------------
+    def submit(
+        self, image: GrayImage, shard_key: Optional[int] = None
+    ) -> "Future[ExtractionResult]":
+        """Queue one frame; blocks while ``max_in_flight`` frames are pending.
+
+        Returns a future resolving to the same
+        :class:`~repro.features.ExtractionResult` sequential extraction
+        would produce.  Raises :class:`~repro.errors.ReproError` when the
+        server is closed, the routed worker has died, or every worker has
+        died while waiting for a free slot.
+        """
+        if self._closed:
+            raise ReproError("ClusterServer is closed")
+        with self._lock:
+            job_id = self._next_job_id
+            self._next_job_id += 1
+        worker_id = self.policy.route(job_id, shard_key, self.num_workers)
+        if not self.stats.workers[worker_id].alive:
+            raise ReproError(
+                f"cluster worker {worker_id} has died; frame cannot be served"
+            )
+        slot = self._acquire_slot()
+        future: "Future[ExtractionResult]" = Future()
+        try:
+            height, width = self._ring.write(slot, image.pixels)
+            with self._lock:
+                # re-check under the crash handler's lock: a worker marked
+                # dead after the early check above must not receive a job
+                # that _fail_worker (which drains _pending exactly once)
+                # can no longer fail
+                if not self.stats.workers[worker_id].alive:
+                    raise ReproError(
+                        f"cluster worker {worker_id} has died; frame cannot be served"
+                    )
+                self._pending[job_id] = _PendingJob(future, worker_id, slot)
+            self.stats._submitted(worker_id)
+            try:
+                self._job_queues[worker_id].put((job_id, slot, height, width))
+            except BaseException:
+                self.stats._abandoned(worker_id)
+                raise
+        except BaseException:
+            with self._lock:
+                self._pending.pop(job_id, None)
+            self._ring.release(slot)
+            raise
+        return future
+
+    def extract_many(
+        self,
+        images: Iterable[GrayImage],
+        shard_keys: Optional[Sequence[int]] = None,
+    ) -> List[ExtractionResult]:
+        """Extract every image across the cluster; results in submission order.
+
+        ``shard_keys`` optionally supplies one affinity key per image
+        (required by the ``by_sequence`` policy).  Submission interleaves
+        with completion through the bounded in-flight window, and the
+        returned list is reassembled in order regardless of which worker
+        finished first.
+        """
+        futures = []
+        for index, image in enumerate(images):
+            key = shard_keys[index] if shard_keys is not None else None
+            futures.append(self.submit(image, shard_key=key))
+        return [future.result() for future in futures]
+
+    def _acquire_slot(self) -> int:
+        """Back-pressure point: wait for a ring slot, watching worker health."""
+        while True:
+            slot = self._ring.acquire(timeout=0.1)
+            if slot is not None:
+                return slot
+            if self._closed:
+                raise ReproError("ClusterServer closed while waiting for a frame slot")
+            if not any(worker.alive for worker in self.stats.workers):
+                raise ReproError("every cluster worker has died; serving halted")
+
+    # -- result collection / worker health ---------------------------------
+    def _collect_results(self) -> None:
+        while True:
+            try:
+                message = self._result_queue.get(timeout=_HEALTH_POLL_S)
+            except queue_module.Empty:
+                if self._closed and not self._pending:
+                    return
+                self._check_worker_health()
+                continue
+            except (EOFError, OSError):
+                return  # queue torn down during close
+            worker_id, job_id, result, latency_s, error = message
+            with self._lock:
+                job = self._pending.pop(job_id, None)
+            if job is None:
+                continue  # already failed by crash handling
+            # account the completion BEFORE freeing the slot: a producer
+            # blocked on the slot pool must not see the window shrink before
+            # the in-flight counter does (else max_in_flight can overshoot)
+            if error is None:
+                self.stats._completed(worker_id, latency_s)
+                self._ring.release(job.slot)
+                job.future.set_result(result)
+            else:
+                self.stats._failed(worker_id)
+                self._ring.release(job.slot)
+                job.future.set_exception(
+                    ReproError(f"cluster worker {worker_id} extraction failed: {error}")
+                )
+
+    def _check_worker_health(self) -> None:
+        for worker_id, process in enumerate(self._processes):
+            worker = self.stats.workers[worker_id]
+            if worker.alive and process.exitcode is not None:
+                if self._draining and process.exitcode == 0:
+                    continue  # normal sentinel exit while close() drains
+                self._fail_worker(worker_id, process.exitcode)
+
+    def _fail_worker(self, worker_id: int, exitcode: Optional[int]) -> None:
+        """Mark a worker dead and fail every submission routed to it."""
+        worker = self.stats.workers[worker_id]
+        with self._lock:
+            if not worker.alive:
+                return
+            worker.alive = False
+            doomed = [
+                (job_id, job)
+                for job_id, job in self._pending.items()
+                if job.worker_id == worker_id
+            ]
+            for job_id, _ in doomed:
+                del self._pending[job_id]
+        for _, job in doomed:
+            self.stats._failed(worker_id)
+            self._ring.release(job.slot)
+            job.future.set_exception(
+                ReproError(
+                    f"cluster worker {worker_id} died (exit code {exitcode}) "
+                    "with frames in flight"
+                )
+            )
+
+    def kill_worker(self, worker_id: int) -> None:
+        """Fault-injection hook: kill one worker and surface the failure.
+
+        Used by the crash tests (and available for chaos drills): the
+        worker process is killed, joined, and every submission pending on
+        it fails with a :class:`~repro.errors.ReproError`.
+        """
+        if not 0 <= worker_id < self.num_workers:
+            raise ReproError(f"no cluster worker {worker_id}")
+        process = self._processes[worker_id]
+        if process.exitcode is None:
+            process.kill()
+        process.join()
+        self._fail_worker(worker_id, process.exitcode)
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self, drain_timeout_s: float = 30.0) -> None:
+        """Gracefully drain in-flight frames and tear the cluster down."""
+        if self._closed:
+            return
+        self._draining = True
+        for worker_id, worker in enumerate(self.stats.workers):
+            if worker.alive:
+                try:
+                    self._job_queues[worker_id].put(SHUTDOWN)
+                except (ValueError, OSError):
+                    pass
+        deadline = time.perf_counter() + drain_timeout_s
+        while time.perf_counter() < deadline:
+            with self._lock:
+                drained = not self._pending
+            if drained:
+                break
+            if not any(worker.alive for worker in self.stats.workers):
+                break
+            time.sleep(_HEALTH_POLL_S)
+        self._closed = True
+        with self._lock:
+            leftovers = list(self._pending.values())
+            self._pending.clear()
+        for job in leftovers:
+            self.stats._failed(job.worker_id)
+            self._ring.release(job.slot)
+            job.future.set_exception(
+                ReproError("ClusterServer closed before the frame was served")
+            )
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.exitcode is None:
+                process.terminate()
+                process.join(timeout=5.0)
+        self._collector.join(timeout=5.0)
+        for job_queue in self._job_queues:
+            job_queue.close()
+            job_queue.cancel_join_thread()
+        self._result_queue.close()
+        self._result_queue.cancel_join_thread()
+        self._ring.close()
+
+    def __enter__(self) -> "ClusterServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,68 @@
+"""Worker-process entry point of the cluster serving layer.
+
+Each worker owns ONE engine/backend pair — exactly like one fixed-function
+extraction pipeline of the paper's accelerator — built inside the worker
+process from the pickled :class:`~repro.config.ExtractorConfig`, so engines
+in different workers share nothing and the GIL of one process never stalls
+another.  Frames arrive as ``(job_id, slot, height, width)`` control
+messages; pixels are read through a zero-copy view of the shared-memory
+ring (:mod:`repro.cluster.shared_ring`), and only the small extraction
+result (retained features + profile) travels back through the result queue.
+
+The function lives at module scope so both ``fork`` and ``spawn`` start
+methods can target it.
+"""
+
+from __future__ import annotations
+
+import time
+from multiprocessing import shared_memory
+
+#: Control message closing a worker's job queue (graceful drain).
+SHUTDOWN = None
+
+
+def worker_main(
+    worker_id: int,
+    config,
+    ring_name: str,
+    slot_bytes: int,
+    job_queue,
+    result_queue,
+) -> None:
+    """Consume frame jobs until the shutdown sentinel arrives.
+
+    Result messages are ``(worker_id, job_id, result, latency_s, error)``
+    where exactly one of ``result`` / ``error`` is set.  The slot index is
+    not echoed back: the server tracks the slot per job and frees it when
+    the result (or failure) is collected, which guarantees the worker has
+    finished reading the shared pages before they are reused.
+    """
+    # Imports happen inside the worker so the ``spawn`` start method pays
+    # them here rather than pickling live engine objects.
+    from ..features import OrbExtractor
+    from ..image import GrayImage
+    from .shared_ring import attach_slot_view
+
+    # Attaching re-registers the segment with the resource tracker the
+    # worker shares with the server process; that is a set-membership no-op,
+    # and the server's unlink() is the single cleanup point.
+    shm = shared_memory.SharedMemory(name=ring_name)
+    try:
+        extractor = OrbExtractor(config)
+        while True:
+            message = job_queue.get()
+            if message is SHUTDOWN:
+                break
+            job_id, slot, height, width = message
+            start = time.perf_counter()
+            try:
+                pixels = attach_slot_view(shm, slot, slot_bytes, height, width)
+                result = extractor.extract(GrayImage(pixels))
+                latency = time.perf_counter() - start
+                result_queue.put((worker_id, job_id, result, latency, None))
+            except Exception as error:  # surface, don't kill the worker
+                latency = time.perf_counter() - start
+                result_queue.put((worker_id, job_id, None, latency, repr(error)))
+    finally:
+        shm.close()

@@ -126,6 +126,31 @@ class ExtractionResult:
             )
         return self._levels
 
+    def feature_records(self) -> List[tuple]:
+        """Hashable per-feature records, in retained order.
+
+        The bit-identity comparison key shared by every parity check in the
+        repo — engine/backend parity, hardware-model parity, thread- and
+        process-served extraction (``tests/test_serving.py``,
+        ``tests/test_cluster.py``) — so the definition of "identical
+        features" cannot drift between suites.  Two results are bit-identical
+        iff their record lists compare equal.
+        """
+        return [
+            (
+                f.keypoint.level,
+                f.keypoint.x,
+                f.keypoint.y,
+                f.score,
+                f.keypoint.orientation_bin,
+                f.keypoint.orientation_rad,
+                f.descriptor.tobytes(),
+                f.x0,
+                f.y0,
+            )
+            for f in self.features
+        ]
+
 
 class OrbExtractor:
     """Full software ORB extractor (the functional model of the accelerator).

@@ -38,6 +38,7 @@ from .kernels import (
     intensity_centroids_batched,
     orientation_bin_from_patch_quantized,
     orientation_bins_quantized,
+    quantization_overrides,
     quantize_gaussian_kernel,
     smooth_image_quantized,
     smooth_window_quantized,
@@ -61,4 +62,5 @@ __all__ = [
     "orientation_bins_quantized",
     "orientation_bin_from_patch_quantized",
     "brief_descriptor_from_patch",
+    "quantization_overrides",
 ]

@@ -38,6 +38,8 @@ The quantisation choices model the paper's datapath:
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+
 import numpy as np
 
 from ..errors import HardwareModelError
@@ -67,6 +69,50 @@ HARRIS_SCORE_SHIFT: int = 26
 HARRIS_WINDOW_RADIUS: int = 3
 #: Fraction bits of the quantized Gaussian smoother weights.
 SMOOTHER_WEIGHT_BITS: int = 8
+
+
+@contextmanager
+def quantization_overrides(
+    harris_score_shift: int | None = None,
+    orientation_ratio_format=None,
+):
+    """Temporarily rebind the datapath's register-width choices.
+
+    Sensitivity sweeps (``benchmarks/bench_quant_sensitivity.py`` via
+    :func:`repro.analysis.run_quantization_divergence`) need to ask "what if
+    the hardware spent more/fewer bits here?" without forking the kernels.
+    Within the ``with`` block every kernel call — scalar hardware units and
+    batched ``hwexact`` engines alike — sees the overridden
+    :data:`HARRIS_SCORE_SHIFT` and/or ``ORIENTATION_RATIO_FORMAT``; the
+    defaults are restored on exit even if the body raises.
+
+    Only kernel *calls* inside the block are affected: the overrides patch
+    this module's globals, so values imported into other namespaces
+    beforehand (e.g. ``repro.quant.HARRIS_SCORE_SHIFT``) keep reporting the
+    defaults.  Worker processes of :class:`repro.cluster.ClusterServer`
+    do not inherit overrides applied after they were spawned; sweeps run
+    extraction in-process.
+    """
+    from .formats import FixedPointFormat
+
+    overrides: dict = {}
+    if harris_score_shift is not None:
+        shift = int(harris_score_shift)
+        if shift < 0:
+            raise HardwareModelError("harris_score_shift must be non-negative")
+        overrides["HARRIS_SCORE_SHIFT"] = shift
+    if orientation_ratio_format is not None:
+        if not isinstance(orientation_ratio_format, FixedPointFormat):
+            raise HardwareModelError(
+                "orientation_ratio_format must be a FixedPointFormat"
+            )
+        overrides["ORIENTATION_RATIO_FORMAT"] = orientation_ratio_format
+    saved = {name: globals()[name] for name in overrides}
+    globals().update(overrides)
+    try:
+        yield
+    finally:
+        globals().update(saved)
 
 
 # ---------------------------------------------------------------------------

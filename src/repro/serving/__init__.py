@@ -1,10 +1,12 @@
 """Multi-frame serving: shared-engine extraction with frames in flight.
 
 :class:`FrameServer` runs many frames through ONE detection engine + keypoint
-backend pair on a thread pool with a bounded in-flight window.  See
-``docs/frontend.md`` for the architecture.
+backend pair on a thread pool with a bounded in-flight window; the process
+cluster (:mod:`repro.cluster`) scales the same semantics past the GIL.  Both
+satisfy the :class:`FrameServing` protocol consumed by
+:meth:`repro.slam.SlamSystem.run`.  See ``docs/serving.md``.
 """
 
-from .frame_server import FrameServer, ServingStats
+from .frame_server import FrameServer, FrameServing, ServingStats, percentile_ms
 
-__all__ = ["FrameServer", "ServingStats"]
+__all__ = ["FrameServer", "FrameServing", "ServingStats", "percentile_ms"]

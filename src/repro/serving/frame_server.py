@@ -22,9 +22,13 @@ extraction (asserted by ``tests/test_serving.py``).
 from __future__ import annotations
 
 import threading
+import time
+from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Protocol, Sequence, runtime_checkable
+
+import numpy as np
 
 from ..config import ExtractorConfig
 from ..errors import ReproError
@@ -32,32 +36,129 @@ from ..features import ExtractionResult, OrbExtractor
 from ..image import GrayImage
 
 
+#: How many recent per-frame latencies the stats keep for the percentile
+#: columns.  A bounded window keeps long-lived servers at O(1) memory and
+#: O(window) percentile reads while still describing current behaviour;
+#: the frame *counters* are never windowed.
+LATENCY_WINDOW: int = 4096
+
+
+def percentile_ms(latencies_s: Iterable[float], q: float) -> float:
+    """The ``q``-th percentile of per-frame latencies, in milliseconds.
+
+    One definition shared by the thread server's :class:`ServingStats` and
+    the process cluster's :class:`repro.cluster.ClusterStats`, so their
+    latency columns are always computed the same way.  Returns 0.0 when no
+    frame has completed yet.
+    """
+    values = np.fromiter(latencies_s, dtype=np.float64)
+    if values.size == 0:
+        return 0.0
+    return 1000.0 * float(np.percentile(values, q))
+
+
+@runtime_checkable
+class FrameServing(Protocol):
+    """What :meth:`repro.slam.SlamSystem.run` needs from a frame server.
+
+    Both the thread :class:`FrameServer` and the process
+    :class:`repro.cluster.ClusterServer` satisfy this protocol: a bounded
+    in-flight window (``max_in_flight``), a ``submit`` returning a future
+    of the extraction result, and the configuration the serving engines
+    were built from (``extractor_config``) for compatibility checks.
+    """
+
+    max_in_flight: int
+
+    @property
+    def extractor_config(self) -> ExtractorConfig: ...
+
+    def submit(self, image: GrayImage) -> "Future[ExtractionResult]": ...
+
+
 @dataclass
 class ServingStats:
-    """Counters accumulated by a :class:`FrameServer` across its lifetime."""
+    """Counters accumulated by a :class:`FrameServer` across its lifetime.
+
+    Besides the in-flight window counters, per-frame extraction latencies
+    and the first-submit/last-complete wall-clock span are recorded so the
+    thread server reports the same latency percentiles and throughput
+    figures as the process cluster (:class:`repro.cluster.ClusterStats`).
+    """
 
     frames_submitted: int = 0
     frames_completed: int = 0
     max_in_flight: int = 0
+    latencies_s: "deque[float]" = field(
+        default_factory=lambda: deque(maxlen=LATENCY_WINDOW), repr=False
+    )
     _in_flight: int = 0
+    _first_submit_s: Optional[float] = None
+    _last_completed_s: Optional[float] = None
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def _submitted(self) -> None:
         with self._lock:
+            if self._first_submit_s is None:
+                self._first_submit_s = time.perf_counter()
             self.frames_submitted += 1
             self._in_flight += 1
             self.max_in_flight = max(self.max_in_flight, self._in_flight)
 
-    def _completed(self) -> None:
+    def _completed(self, latency_s: float) -> None:
         with self._lock:
+            self._last_completed_s = time.perf_counter()
             self.frames_completed += 1
             self._in_flight -= 1
+            self.latencies_s.append(latency_s)
 
     def _abandoned(self) -> None:
         """Undo a submission whose pool hand-off failed (never extracted)."""
         with self._lock:
             self.frames_submitted -= 1
             self._in_flight -= 1
+
+    # -- derived metrics ---------------------------------------------------
+    @property
+    def latency_p50_ms(self) -> float:
+        """Median per-frame extraction latency (milliseconds)."""
+        with self._lock:  # snapshot: pool threads append concurrently
+            snapshot = tuple(self.latencies_s)
+        return percentile_ms(snapshot, 50.0)
+
+    @property
+    def latency_p95_ms(self) -> float:
+        """95th-percentile per-frame extraction latency (milliseconds)."""
+        with self._lock:
+            snapshot = tuple(self.latencies_s)
+        return percentile_ms(snapshot, 95.0)
+
+    @property
+    def elapsed_s(self) -> float:
+        """Wall-clock span from first submit to last completion."""
+        if self._first_submit_s is None or self._last_completed_s is None:
+            return 0.0
+        return max(0.0, self._last_completed_s - self._first_submit_s)
+
+    @property
+    def throughput_fps(self) -> float:
+        """Completed frames per wall-clock second across the server's life."""
+        elapsed = self.elapsed_s
+        if elapsed <= 0.0:
+            return 0.0
+        return self.frames_completed / elapsed
+
+    def as_dict(self) -> dict:
+        """JSON-friendly snapshot (benchmark reports)."""
+        return {
+            "frames_submitted": self.frames_submitted,
+            "frames_completed": self.frames_completed,
+            "max_in_flight": self.max_in_flight,
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p95_ms": self.latency_p95_ms,
+            "elapsed_s": self.elapsed_s,
+            "throughput_fps": self.throughput_fps,
+        }
 
 
 class FrameServer:
@@ -100,6 +201,11 @@ class FrameServer:
         )
         self._closed = False
 
+    @property
+    def extractor_config(self) -> ExtractorConfig:
+        """Configuration of the shared engine (the serving protocol handle)."""
+        return self.extractor.config
+
     # -- lifecycle ---------------------------------------------------------
     def close(self) -> None:
         """Drain and shut the pool down; the server cannot be reused."""
@@ -132,10 +238,11 @@ class FrameServer:
         return future
 
     def _extract_one(self, image: GrayImage) -> ExtractionResult:
+        start = time.perf_counter()
         try:
             return self.extractor.extract(image)
         finally:
-            self.stats._completed()
+            self.stats._completed(time.perf_counter() - start)
             self._slots.release()
 
     def extract_many(self, images: Iterable[GrayImage]) -> List[ExtractionResult]:

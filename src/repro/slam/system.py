@@ -109,12 +109,15 @@ class SlamSystem:
     ) -> SlamRunResult:
         """Run the system over a whole sequence and collect results.
 
-        When ``frame_server`` (a :class:`repro.serving.FrameServer`) is
-        given, feature extraction for the whole sequence is pipelined
-        through its thread pool — many frames in flight through one shared
-        engine — while tracking consumes the results in order.  Tracking
-        output is identical to the sequential path because extraction is a
-        pure per-frame function.
+        ``frame_server`` accepts anything satisfying the
+        :class:`repro.serving.FrameServing` protocol — the thread
+        :class:`repro.serving.FrameServer` or the process
+        :class:`repro.cluster.ClusterServer` (or one of its
+        ``sequence_handle`` shards) — and pipelines feature extraction for
+        the whole sequence through it, many frames in flight, while
+        tracking consumes the results in order.  Tracking output is
+        identical to the sequential path because extraction is a pure
+        per-frame function.
         """
         result = SlamRunResult(sequence_name=sequence.name)
         frames = [
@@ -122,7 +125,7 @@ class SlamSystem:
             for rgbd_frame in sequence
             if max_frames is None or rgbd_frame.index < max_frames
         ]
-        if frame_server is not None and frame_server.extractor.config != self.config.extractor:
+        if frame_server is not None and frame_server.extractor_config != self.config.extractor:
             raise ReproError(
                 "frame server extractor configuration does not match the "
                 "SLAM extractor configuration"

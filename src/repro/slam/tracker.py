@@ -19,7 +19,7 @@ from ..config import SlamConfig
 from ..errors import TrackingError
 from ..features import OrbExtractor
 from ..geometry import PnpRansac, Pose, RansacConfig
-from ..matching import BruteForceMatcher, Match
+from ..matching import BruteForceMatcher, MatchArrays
 from ..optimization import PoseOptimizer
 from .frame import Frame
 from .keyframe import KeyframePolicy
@@ -146,7 +146,9 @@ class Tracker:
         frame.pose = Pose.identity()
         frame.is_keyframe = True
         self.keyframe_policy.evaluate(frame.pose)
-        stats = self._update_map(frame, matched_feature_indices=set())
+        stats = self._update_map(
+            frame, matched_feature_indices=np.zeros(0, dtype=np.int64)
+        )
         workload.map_points_added = stats.points_added
         workload.map_points_deleted = stats.points_deleted
         workload.map_size_after = stats.points_total
@@ -165,18 +167,20 @@ class Tracker:
     # -- stages 2-5: matching, pose estimation/optimisation, map update ----------
     def _track(self, frame: Frame, workload: StageWorkload) -> TrackingResult:
         matches = self._match(frame, workload)
-        if len(matches) < self.config.tracker.min_matches:
-            return self._tracking_failure(frame, workload, len(matches))
+        if matches.size < self.config.tracker.min_matches:
+            return self._tracking_failure(frame, workload, matches.size)
         pose, inlier_matches = self._estimate_pose(frame, matches, workload)
         if pose is None:
-            return self._tracking_failure(frame, workload, len(matches))
+            return self._tracking_failure(frame, workload, matches.size)
         pose = self._optimize_pose(frame, pose, inlier_matches, workload)
         frame.pose = pose
         decision = self.keyframe_policy.evaluate(pose)
         frame.is_keyframe = decision.is_keyframe
         matched_ids = self._record_matches(frame, inlier_matches)
         if decision.is_keyframe:
-            stats = self._update_map(frame, matched_feature_indices={m.query_index for m in inlier_matches})
+            stats = self._update_map(
+                frame, matched_feature_indices=inlier_matches.query_indices
+            )
             workload.map_points_added = stats.points_added
             workload.map_points_deleted = stats.points_deleted
             workload.map_size_after = stats.points_total
@@ -188,15 +192,22 @@ class Tracker:
             timestamp=frame.timestamp,
             pose=pose,
             is_keyframe=decision.is_keyframe,
-            num_matches=len(matches),
-            num_inliers=len(inlier_matches),
+            num_matches=matches.size,
+            num_inliers=inlier_matches.size,
             tracked=True,
             workload=workload,
         )
 
-    def _match(self, frame: Frame, workload: StageWorkload) -> List[Match]:
+    def _match(self, frame: Frame, workload: StageWorkload) -> MatchArrays:
+        """Match the frame against the map; arrays only on the hot path.
+
+        The matcher's :class:`~repro.matching.MatchArrays` feed pose
+        estimation, optimisation and map updating through vectorised index
+        gathers; per-correspondence :class:`~repro.matching.Match` objects
+        are never materialised while tracking.
+        """
         map_descriptors = self.map.descriptor_matrix()
-        matches = self.matcher.match(frame.descriptor_matrix(), map_descriptors)
+        matches = self.matcher.match_arrays(frame.descriptor_matrix(), map_descriptors)
         stats = self.matcher.last_stats
         workload.map_points_matched_against = stats.num_candidates
         workload.distance_evaluations = stats.distance_evaluations
@@ -204,14 +215,14 @@ class Tracker:
         return matches
 
     def _estimate_pose(
-        self, frame: Frame, matches: List[Match], workload: StageWorkload
-    ) -> tuple[Optional[Pose], List[Match]]:
+        self, frame: Frame, matches: MatchArrays, workload: StageWorkload
+    ) -> tuple[Optional[Pose], MatchArrays]:
         positions = self.map.position_matrix()
         pixels = frame.keypoint_pixels()
         depths = frame.feature_depths()
-        points_world = positions[[m.train_index for m in matches]]
-        observations = pixels[[m.query_index for m in matches]]
-        observed_depths = depths[[m.query_index for m in matches]]
+        points_world = positions[matches.train_indices]
+        observations = pixels[matches.query_indices]
+        observed_depths = depths[matches.query_indices]
         ransac = PnpRansac(
             frame.camera,
             RansacConfig(
@@ -229,59 +240,68 @@ class Tracker:
                 initial_pose=self._last_pose,
             )
         except Exception:  # degenerate configurations fall back to failure handling
-            return None, []
+            return None, MatchArrays.empty()
         workload.ransac_iterations = result.num_iterations
         workload.ransac_inliers = result.num_inliers
         if not result.success:
-            return None, []
-        inlier_matches = [matches[i] for i in result.inlier_indices()]
+            return None, MatchArrays.empty()
+        inliers = np.asarray(result.inlier_indices(), dtype=np.int64)
+        inlier_matches = MatchArrays(
+            query_indices=matches.query_indices[inliers],
+            train_indices=matches.train_indices[inliers],
+            distances=matches.distances[inliers],
+        )
         return result.model, inlier_matches
 
     def _optimize_pose(
         self,
         frame: Frame,
         pose: Pose,
-        inlier_matches: List[Match],
+        inlier_matches: MatchArrays,
         workload: StageWorkload,
     ) -> Pose:
-        if len(inlier_matches) < 3:
+        if inlier_matches.size < 3:
             return pose
         positions = self.map.position_matrix()
         pixels = frame.keypoint_pixels()
-        points_world = positions[[m.train_index for m in inlier_matches]]
-        observations = pixels[[m.query_index for m in inlier_matches]]
+        points_world = positions[inlier_matches.train_indices]
+        observations = pixels[inlier_matches.query_indices]
         optimizer = PoseOptimizer(
             frame.camera, max_iterations=self.config.tracker.pose_iterations
         )
         result = optimizer.optimize(points_world, observations, pose)
         workload.lm_iterations = result.iterations
-        workload.lm_observations = len(inlier_matches)
+        workload.lm_observations = inlier_matches.size
         return result.pose
 
-    def _record_matches(self, frame: Frame, inlier_matches: List[Match]) -> List[int]:
+    def _record_matches(self, frame: Frame, inlier_matches: MatchArrays) -> List[int]:
         """Update matched map points' statistics; return matched point ids."""
         point_ids = self.map.point_ids()
         matched_ids = []
-        for match in inlier_matches:
-            point_id = point_ids[match.train_index]
+        for train_index in inlier_matches.train_indices.tolist():
+            point_id = point_ids[train_index]
             self.map.record_match(point_id, frame.index)
             matched_ids.append(point_id)
         return matched_ids
 
-    def _update_map(self, frame: Frame, matched_feature_indices: set[int]) -> MapUpdateStats:
+    def _update_map(
+        self, frame: Frame, matched_feature_indices: np.ndarray
+    ) -> MapUpdateStats:
         """Key-frame map update: add new points, cull stale ones.
 
         Operates on the frame's feature arrays: unmatched features with valid
         depth are back-projected and transformed to world coordinates in one
         batch instead of one Python call chain per feature.
+        ``matched_feature_indices`` is the accepted correspondences'
+        ``query_indices`` array (possibly empty).
         """
         if frame.pose is None:
             raise TrackingError("frame pose must be set before map updating")
         stats = MapUpdateStats()
         depths = frame.feature_depths()
         candidates = depths > 0
-        if matched_feature_indices:
-            matched = np.fromiter(matched_feature_indices, dtype=np.int64)
+        matched = np.asarray(matched_feature_indices, dtype=np.int64)
+        if matched.size:
             candidates[matched[matched < candidates.size]] = False
         selected = np.nonzero(candidates)[0]
         if selected.size:

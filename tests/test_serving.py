@@ -29,10 +29,7 @@ def serving_images():
 
 
 def _feature_key(result):
-    return [
-        (f.keypoint.level, f.keypoint.x, f.keypoint.y, f.score, f.descriptor.tobytes())
-        for f in result.features
-    ]
+    return result.feature_records()
 
 
 class TestFrameServer:
@@ -62,6 +59,14 @@ class TestFrameServer:
         assert stats.frames_submitted == len(serving_images)
         assert stats.frames_completed == len(serving_images)
         assert 1 <= stats.max_in_flight <= 3
+        # latency/throughput metrics, comparable with ClusterStats
+        assert len(stats.latencies_s) == len(serving_images)
+        assert stats.latency_p95_ms >= stats.latency_p50_ms > 0.0
+        assert stats.elapsed_s > 0.0
+        assert stats.throughput_fps > 0.0
+        report = stats.as_dict()
+        assert report["frames_completed"] == len(serving_images)
+        assert report["latency_p50_ms"] == stats.latency_p50_ms
 
     def test_submit_after_close_rejected(self, serving_config, serving_images):
         server = FrameServer(config=serving_config)
