@@ -1,0 +1,200 @@
+"""Pyramid providers: per-level build cost, streaming scratch, shared reuse.
+
+Three questions, one report:
+
+* **per-level build cost** — what the eager all-up-front pyramid build
+  spends on each level (the work the hardware Image Resizing module hides
+  behind the extractor), and how the streaming banded build compares on
+  the same frames (bit-identical output, bounded scratch);
+* **fan-out amortisation** — with the ``shared`` provider, N consumers of
+  the same frame (multi-engine fan-out) attach to ONE build instead of
+  rebuilding N times: builds stay at one per frame, so at least one build
+  is amortised per extra consumer (the acceptance bar, asserted in the
+  quick tier);
+* **cluster reuse** — with the cluster's producer-publish/worker-attach
+  path, workers perform zero local pyramid builds; throughput at 1/2/4
+  workers is reported against the eager-provider cluster baseline (sweep
+  under the ``slow`` marker, a 2-worker smoke in the quick tier).
+
+Set ``BENCH_REPORT_DIR`` to also write ``bench_pyramid_speedup.json``
+(CI uploads these as artifacts alongside the cluster report).
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.cluster import ClusterServer
+from repro.config import ExtractorConfig, PyramidConfig
+from repro.features import OrbExtractor
+from repro.image import ImagePyramid, nearest_neighbor_resize, random_blocks
+from repro.pyramid import SharedPyramidCache, StreamingPyramid
+
+from conftest import print_section, write_report_file
+
+NUM_FRAMES = 12
+FAN_OUT_CONSUMERS = 3
+WORKER_SWEEP = [1, 2, 4]
+#: Timed passes per configuration; best-of-N damps shared-runner noise.
+TIMING_REPEATS = 3
+
+
+def _feature_key(result):
+    return result.feature_records()  # the repo-wide bit-identity key
+
+
+def _cluster_config(provider: str) -> ExtractorConfig:
+    return ExtractorConfig(
+        image_width=160,
+        image_height=120,
+        pyramid=PyramidConfig(num_levels=2, provider=provider),
+        max_features=150,
+    )
+
+
+@pytest.fixture(scope="module")
+def cluster_images():
+    return [random_blocks(120, 160, block=9, seed=seed) for seed in range(NUM_FRAMES)]
+
+
+def _best_of(callable_, repeats=TIMING_REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_pyramid_build_and_fanout_report(vga_image):
+    """Quick tier: per-level build cost + the fan-out amortisation bar."""
+    config = PyramidConfig(num_levels=4)
+
+    # -- per-level eager build cost (VGA, the paper's frame size) ----------
+    per_level = []
+    current = vga_image
+    for level in range(1, config.num_levels):
+        source = current
+        seconds = _best_of(lambda: nearest_neighbor_resize(source, config.scale_factor))
+        current = nearest_neighbor_resize(source, config.scale_factor)
+        per_level.append(
+            {"level": level, "shape": list(current.shape), "build_ms": 1000.0 * seconds}
+        )
+
+    eager_s = _best_of(lambda: ImagePyramid(vga_image, config))
+    workspace = {}
+
+    def build_streaming():
+        pyramid = StreamingPyramid(vga_image, config, workspace=workspace)
+        pyramid.level(config.num_levels - 1)  # force the full build
+
+    streaming_s = _best_of(build_streaming)
+
+    # -- fan-out: N consumers, one build per frame -------------------------
+    extractor_config = _cluster_config("shared")
+    images = [random_blocks(120, 160, block=9, seed=seed) for seed in range(4)]
+    with SharedPyramidCache.create(extractor_config, num_slots=4) as cache:
+        consumers = [
+            OrbExtractor(extractor_config, pyramid_cache=cache)
+            for _ in range(FAN_OUT_CONSUMERS)
+        ]
+        baseline = OrbExtractor(_cluster_config("eager"))
+        for frame_id, image in enumerate(images):
+            expected = baseline.extract(image)
+            for consumer in consumers:
+                result = consumer.extract(image, frame_id=frame_id)
+                assert _feature_key(result) == _feature_key(expected)
+        fanout_stats = cache.stats()
+
+    report = {
+        "per_level_build": {
+            "image": "640x480",
+            "levels": per_level,
+            "eager_total_ms": 1000.0 * eager_s,
+            "streaming_total_ms": 1000.0 * streaming_s,
+        },
+        "fan_out": {
+            "consumers": FAN_OUT_CONSUMERS,
+            "frames": len(images),
+            "extractions": FAN_OUT_CONSUMERS * len(images),
+            "builds": fanout_stats["publishes"] + fanout_stats["local_builds"],
+            "builds_without_cache": FAN_OUT_CONSUMERS * len(images),
+            "builds_amortised": FAN_OUT_CONSUMERS * len(images)
+            - (fanout_stats["publishes"] + fanout_stats["local_builds"]),
+            "cache": fanout_stats,
+        },
+    }
+    print_section("pyramid providers: build cost and shared-cache fan-out")
+    print(json.dumps(report, indent=2))
+    write_report_file("bench_pyramid_speedup.json", report)
+
+    # acceptance: one build per frame, >= 1 build amortised per extra consumer
+    fan_out = report["fan_out"]
+    assert fan_out["builds"] == len(images)
+    assert fan_out["builds_amortised"] >= (FAN_OUT_CONSUMERS - 1) * len(images)
+    assert fanout_stats["hits"] == FAN_OUT_CONSUMERS * len(images)
+
+
+def test_pyramid_cluster_smoke_two_workers(cluster_images):
+    """Quick tier: shared-provider cluster serves with zero worker rebuilds."""
+    expected = [
+        OrbExtractor(_cluster_config("eager")).extract(image)
+        for image in cluster_images[:4]
+    ]
+    with ClusterServer(_cluster_config("shared"), num_workers=2) as server:
+        served = server.extract_many(cluster_images[:4])
+        stats = server.pyramid_cache_stats()
+    for expected_result, served_result in zip(expected, served):
+        assert _feature_key(expected_result) == _feature_key(served_result)
+    assert stats["publishes"] == 4  # the producer built each frame once
+    assert stats["local_builds"] == 0  # no worker rebuilt a pyramid
+    assert stats["hits"] == 4  # every worker attached zero-copy
+
+
+@pytest.mark.slow
+def test_pyramid_cluster_scaling_report(cluster_images):
+    """Shared-cache cluster throughput at 1/2/4 workers vs the eager baseline."""
+    cpu_count = os.cpu_count() or 1
+    rows = []
+    for workers in WORKER_SWEEP:
+        row = {"workers": workers}
+        for provider in ("eager", "shared"):
+            with ClusterServer(_cluster_config(provider), num_workers=workers) as server:
+                server.extract_many(cluster_images[:workers])  # warm engines
+                best = float("inf")
+                for _ in range(TIMING_REPEATS):
+                    start = time.perf_counter()
+                    server.extract_many(cluster_images)
+                    best = min(best, time.perf_counter() - start)
+                row[provider] = {
+                    "throughput_fps": len(cluster_images) / best,
+                    "elapsed_s": best,
+                }
+                if provider == "shared":
+                    cache = server.pyramid_cache_stats()
+                    row["cache"] = {
+                        key: cache[key]
+                        for key in ("hits", "misses", "publishes", "local_builds")
+                    }
+        row["shared_vs_eager"] = (
+            row["shared"]["throughput_fps"] / row["eager"]["throughput_fps"]
+            if row["eager"]["throughput_fps"]
+            else 0.0
+        )
+        rows.append(row)
+
+    report = {
+        "workload": {"image": "160x120", "frames": len(cluster_images)},
+        "cpu_count": cpu_count,
+        "rows": rows,
+    }
+    print_section("pyramid shared cache: cluster throughput vs eager provider")
+    print(json.dumps(report, indent=2))
+    write_report_file("bench_pyramid_cluster_scaling.json", report)
+
+    # every shared run must have eliminated all per-worker rebuilds
+    for row in rows:
+        assert row["cache"]["local_builds"] == 0
+        assert row["cache"]["publishes"] >= len(cluster_images)

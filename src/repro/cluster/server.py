@@ -28,6 +28,15 @@ Placement is delegated to a :class:`~repro.cluster.router.ShardPolicy`
 (``round_robin`` or ``by_sequence``); per-worker and aggregate counters
 live in :class:`ClusterStats`, comparable field-for-field with the thread
 server's :class:`~repro.serving.ServingStats`.
+
+Two transport optimisations ride on top: workers batch small per-frame
+results into one queue put while saturated (flushing whenever their job
+queue runs dry, so idle latency is unchanged), and — when the
+configuration selects the ``shared`` pyramid provider — the producer
+publishes each frame's pyramid once into a
+:class:`~repro.pyramid.SharedPyramidCache` that workers attach to
+zero-copy by job id, retiring the slot when the result is collected
+(``docs/pyramid.md``).
 """
 
 from __future__ import annotations
@@ -44,6 +53,7 @@ from ..config import ExtractorConfig
 from ..errors import ReproError
 from ..features import ExtractionResult
 from ..image import GrayImage
+from ..pyramid import SharedPyramidCache
 from ..serving.frame_server import LATENCY_WINDOW, percentile_ms
 from .context import get_mp_context
 from .router import ShardPolicy, create_policy
@@ -269,6 +279,19 @@ class ClusterServer:
         context = get_mp_context(start_method)
         slot_bytes = self.config.image_height * self.config.image_width
         self._ring = SharedFrameRing(self.max_in_flight, slot_bytes)
+        # shared pyramid provider: the producer builds each frame's pyramid
+        # once into a shared-memory cache; workers attach zero-copy by job
+        # id instead of rebuilding it per extraction (docs/pyramid.md)
+        self._pyramid_cache = (
+            SharedPyramidCache.create(
+                self.config, num_slots=self.max_in_flight, context=context
+            )
+            if self.config.pyramid.provider == "shared"
+            else None
+        )
+        pyramid_handle = (
+            self._pyramid_cache.handle() if self._pyramid_cache is not None else None
+        )
         self.stats = ClusterStats(
             workers=[WorkerStats(worker_id=index) for index in range(num_workers)]
         )
@@ -291,6 +314,7 @@ class ClusterServer:
                         slot_bytes,
                         self._job_queues[worker_id],
                         self._result_queue,
+                        pyramid_handle,
                     ),
                     name=f"cluster-worker-{worker_id}",
                     daemon=True,
@@ -309,6 +333,8 @@ class ClusterServer:
             self._result_queue.close()
             self._result_queue.cancel_join_thread()
             self._ring.close()
+            if self._pyramid_cache is not None:
+                self._pyramid_cache.close()
             raise
         self._collector = threading.Thread(
             target=self._collect_results, name="cluster-collector", daemon=True
@@ -324,6 +350,13 @@ class ClusterServer:
     def sequence_handle(self, shard_key: int) -> _SequenceShard:
         """Frame-serving view pinned to ``shard_key`` (``by_sequence`` use)."""
         return _SequenceShard(self, shard_key)
+
+    def pyramid_cache_stats(self) -> Optional[Dict[str, object]]:
+        """Aggregate shared-pyramid-cache counters (``None`` unless the
+        configuration selects the ``shared`` pyramid provider)."""
+        if self._pyramid_cache is None:
+            return None
+        return self._pyramid_cache.stats()
 
     # -- serving -----------------------------------------------------------
     def submit(
@@ -351,6 +384,10 @@ class ClusterServer:
         future: "Future[ExtractionResult]" = Future()
         try:
             height, width = self._ring.write(slot, image.pixels)
+            if self._pyramid_cache is not None:
+                # best effort: a failed publish (all slots leased) just means
+                # the routed worker builds the pyramid locally on its miss
+                self._pyramid_cache.publish(job_id, image.pixels)
             with self._lock:
                 # re-check under the crash handler's lock: a worker marked
                 # dead after the early check above must not receive a job
@@ -371,6 +408,10 @@ class ClusterServer:
             with self._lock:
                 self._pending.pop(job_id, None)
             self._ring.release(slot)
+            if self._pyramid_cache is not None:
+                # the pyramid may already be published for a job that will
+                # never run; free its cache slot too
+                self._pyramid_cache.retire(job_id, force=True)
             raise
         return future
 
@@ -416,24 +457,41 @@ class ClusterServer:
                 continue
             except (EOFError, OSError):
                 return  # queue torn down during close
-            worker_id, job_id, result, latency_s, error = message
-            with self._lock:
-                job = self._pending.pop(job_id, None)
-            if job is None:
-                continue  # already failed by crash handling
-            # account the completion BEFORE freeing the slot: a producer
-            # blocked on the slot pool must not see the window shrink before
-            # the in-flight counter does (else max_in_flight can overshoot)
-            if error is None:
-                self.stats._completed(worker_id, latency_s)
-                self._ring.release(job.slot)
-                job.future.set_result(result)
-            else:
-                self.stats._failed(worker_id)
-                self._ring.release(job.slot)
-                job.future.set_exception(
-                    ReproError(f"cluster worker {worker_id} extraction failed: {error}")
-                )
+            worker_id, batch = message
+            for job_id, result, latency_s, error in batch:
+                with self._lock:
+                    job = self._pending.pop(job_id, None)
+                if job is None:
+                    continue  # already failed by crash handling
+                # account the completion BEFORE freeing the slot: a producer
+                # blocked on the slot pool must not see the window shrink
+                # before the in-flight counter does (else max_in_flight can
+                # overshoot)
+                if error is None:
+                    self.stats._completed(worker_id, latency_s)
+                    self._release_job_resources(job_id, job)
+                    job.future.set_result(result)
+                else:
+                    self.stats._failed(worker_id)
+                    self._release_job_resources(job_id, job)
+                    job.future.set_exception(
+                        ReproError(
+                            f"cluster worker {worker_id} extraction failed: {error}"
+                        )
+                    )
+
+    def _release_job_resources(
+        self, job_id: int, job: _PendingJob, crashed: bool = False
+    ) -> None:
+        """Free a collected job's ring slot and retire its cached pyramid.
+
+        A collected result proves the worker is done with the shared pages;
+        ``crashed`` additionally voids the worker's cache lease, which can
+        never be released by the dead process.
+        """
+        self._ring.release(job.slot)
+        if self._pyramid_cache is not None:
+            self._pyramid_cache.retire(job_id, force=crashed)
 
     def _check_worker_health(self) -> None:
         for worker_id, process in enumerate(self._processes):
@@ -457,9 +515,9 @@ class ClusterServer:
             ]
             for job_id, _ in doomed:
                 del self._pending[job_id]
-        for _, job in doomed:
+        for job_id, job in doomed:
             self.stats._failed(worker_id)
-            self._ring.release(job.slot)
+            self._release_job_resources(job_id, job, crashed=True)
             job.future.set_exception(
                 ReproError(
                     f"cluster worker {worker_id} died (exit code {exitcode}) "
@@ -505,11 +563,11 @@ class ClusterServer:
             time.sleep(_HEALTH_POLL_S)
         self._closed = True
         with self._lock:
-            leftovers = list(self._pending.values())
+            leftovers = list(self._pending.items())
             self._pending.clear()
-        for job in leftovers:
+        for job_id, job in leftovers:
             self.stats._failed(job.worker_id)
-            self._ring.release(job.slot)
+            self._release_job_resources(job_id, job, crashed=True)
             job.future.set_exception(
                 ReproError("ClusterServer closed before the frame was served")
             )
@@ -525,6 +583,8 @@ class ClusterServer:
         self._result_queue.close()
         self._result_queue.cancel_join_thread()
         self._ring.close()
+        if self._pyramid_cache is not None:
+            self._pyramid_cache.close()
 
     def __enter__(self) -> "ClusterServer":
         return self

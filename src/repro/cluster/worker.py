@@ -7,7 +7,20 @@ in different workers share nothing and the GIL of one process never stalls
 another.  Frames arrive as ``(job_id, slot, height, width)`` control
 messages; pixels are read through a zero-copy view of the shared-memory
 ring (:mod:`repro.cluster.shared_ring`), and only the small extraction
-result (retained features + profile) travels back through the result queue.
+results (retained features + profile) travel back through the result queue.
+
+Two cross-process optimisations live here:
+
+* **shared pyramid attachment** — when the server runs the ``shared``
+  pyramid provider it passes a :class:`~repro.pyramid.PyramidCacheHandle`;
+  the worker's extractor then attaches zero-copy to the pyramid the
+  producer already built for each job id and only rebuilds locally on a
+  cache miss (``docs/pyramid.md``);
+* **batched result transport** — results are buffered per worker and
+  flushed as ONE queue put when the batch fills or the job queue runs dry,
+  cutting pipe syscalls at high frame rates without delaying results while
+  the worker is idle.  Semantics and per-frame stats are unchanged; the
+  server iterates the batch.
 
 The function lives at module scope so both ``fork`` and ``spawn`` start
 methods can target it.
@@ -15,11 +28,17 @@ methods can target it.
 
 from __future__ import annotations
 
+import queue as queue_module
 import time
 from multiprocessing import shared_memory
 
 #: Control message closing a worker's job queue (graceful drain).
 SHUTDOWN = None
+
+#: Results buffered per worker before a flush is forced.  The buffer also
+#: flushes whenever the job queue is momentarily empty, so batching only
+#: coalesces puts while the worker is saturated and never adds idle latency.
+RESULT_BATCH_MAX = 8
 
 
 def worker_main(
@@ -29,40 +48,69 @@ def worker_main(
     slot_bytes: int,
     job_queue,
     result_queue,
+    pyramid_handle=None,
 ) -> None:
     """Consume frame jobs until the shutdown sentinel arrives.
 
-    Result messages are ``(worker_id, job_id, result, latency_s, error)``
-    where exactly one of ``result`` / ``error`` is set.  The slot index is
-    not echoed back: the server tracks the slot per job and frees it when
-    the result (or failure) is collected, which guarantees the worker has
-    finished reading the shared pages before they are reused.
+    Result messages are ``(worker_id, batch)`` where ``batch`` is a list of
+    ``(job_id, result, latency_s, error)`` entries (exactly one of
+    ``result`` / ``error`` set per entry).  The slot index is not echoed
+    back: the server tracks the slot per job and frees it when the result
+    (or failure) is collected, which guarantees the worker has finished
+    reading the shared pages before they are reused.
     """
     # Imports happen inside the worker so the ``spawn`` start method pays
     # them here rather than pickling live engine objects.
     from ..features import OrbExtractor
     from ..image import GrayImage
+    from ..pyramid import SharedPyramidCache
     from .shared_ring import attach_slot_view
 
     # Attaching re-registers the segment with the resource tracker the
     # worker shares with the server process; that is a set-membership no-op,
     # and the server's unlink() is the single cleanup point.
     shm = shared_memory.SharedMemory(name=ring_name)
+    pyramid_cache = (
+        SharedPyramidCache.attach_handle(pyramid_handle)
+        if pyramid_handle is not None
+        else None
+    )
+    pending = []
+
+    def flush() -> None:
+        if pending:
+            result_queue.put((worker_id, list(pending)))
+            pending.clear()
+
     try:
-        extractor = OrbExtractor(config)
+        extractor = OrbExtractor(config, pyramid_cache=pyramid_cache)
         while True:
-            message = job_queue.get()
+            if pending:
+                # drain without blocking while results are buffered; a dry
+                # queue flushes them before we park on the blocking get
+                try:
+                    message = job_queue.get_nowait()
+                except queue_module.Empty:
+                    flush()
+                    message = job_queue.get()
+            else:
+                message = job_queue.get()
             if message is SHUTDOWN:
+                flush()
                 break
             job_id, slot, height, width = message
             start = time.perf_counter()
             try:
                 pixels = attach_slot_view(shm, slot, slot_bytes, height, width)
-                result = extractor.extract(GrayImage(pixels))
+                result = extractor.extract(GrayImage(pixels), frame_id=job_id)
                 latency = time.perf_counter() - start
-                result_queue.put((worker_id, job_id, result, latency, None))
+                pending.append((job_id, result, latency, None))
             except Exception as error:  # surface, don't kill the worker
                 latency = time.perf_counter() - start
-                result_queue.put((worker_id, job_id, None, latency, repr(error)))
+                pending.append((job_id, None, latency, repr(error)))
+            if len(pending) >= RESULT_BATCH_MAX:
+                flush()
     finally:
+        if pyramid_cache is not None:
+            pyramid_cache.close()
         shm.close()

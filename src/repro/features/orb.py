@@ -30,9 +30,13 @@ pyramid levels through numpy while ``reference`` keeps the scalar
 ground-truth path; both are bit-identical (see ``docs/backends.md``).
 The full-frame detection pass (FAST + Harris + NMS + smoothing) is likewise
 delegated to a :class:`~repro.frontend.DetectionEngine` selected by
-``ExtractorConfig.frontend`` (see ``docs/frontend.md``).  Candidates move
-through the extractor as coordinate/score arrays, and :class:`Feature`
-objects are only materialised for the retained set.
+``ExtractorConfig.frontend`` (see ``docs/frontend.md``), and the multi-scale
+pyramid those engines consume comes from a
+:class:`~repro.pyramid.PyramidProvider` selected by
+``ExtractorConfig.pyramid.provider`` (eager / streaming / shared-cache, all
+bit-identical; see ``docs/pyramid.md``).  Candidates move through the
+extractor as coordinate/score arrays, and :class:`Feature` objects are only
+materialised for the retained set.
 """
 
 from __future__ import annotations
@@ -163,16 +167,22 @@ class OrbExtractor:
         order and ``config.backend`` the keypoint compute backend.
     """
 
-    def __init__(self, config: ExtractorConfig | None = None) -> None:
+    def __init__(
+        self, config: ExtractorConfig | None = None, pyramid_cache=None
+    ) -> None:
         # imported here (not at module scope) so that repro.features,
-        # repro.backends and repro.frontend can be imported in any order
-        # without a cycle
+        # repro.backends, repro.frontend and repro.pyramid can be imported
+        # in any order without a cycle
         from ..backends import create_backend
         from ..frontend import create_engine
+        from ..pyramid import create_provider
 
         self.config = config or ExtractorConfig()
         self.backend = create_backend(self.config.backend, self.config)
         self.frontend = create_engine(self.config.frontend, self.config)
+        self.pyramid_provider = create_provider(
+            self.config.pyramid.provider, self.config, cache=pyramid_cache
+        )
         self.descriptor_engine: DescriptorEngine = self.backend.descriptor_engine
         self._border = max(
             self.config.fast.border,
@@ -181,19 +191,33 @@ class OrbExtractor:
         )
 
     # -- public API -------------------------------------------------------
-    def extract(self, image: GrayImage) -> ExtractionResult:
-        """Extract up to ``config.max_features`` ORB features from ``image``."""
-        pyramid = ImagePyramid(image, self.config.pyramid)
-        profile = ExtractionProfile(
-            workflow="rescheduled" if self.config.rescheduled_workflow else "original"
-        )
-        profile.pixels_processed = pyramid.total_pixels()
-        if self.config.rescheduled_workflow:
-            features = self._extract_rescheduled(pyramid, profile)
-        else:
-            features = self._extract_original(pyramid, profile)
-        profile.features_retained = len(features)
-        return ExtractionResult(features=features, profile=profile)
+    def extract(
+        self, image: GrayImage, frame_id: int | None = None
+    ) -> ExtractionResult:
+        """Extract up to ``config.max_features`` ORB features from ``image``.
+
+        ``frame_id`` keys cross-consumer pyramid reuse for the ``shared``
+        provider (cluster workers pass their job id); local providers
+        ignore it.
+        """
+        pyramid = self.pyramid_provider.acquire(image, frame_id)
+        try:
+            profile = ExtractionProfile(
+                workflow="rescheduled" if self.config.rescheduled_workflow else "original"
+            )
+            profile.pixels_processed = pyramid.total_pixels()
+            if self.config.rescheduled_workflow:
+                features = self._extract_rescheduled(pyramid, profile)
+            else:
+                features = self._extract_original(pyramid, profile)
+            profile.features_retained = len(features)
+            return ExtractionResult(features=features, profile=profile)
+        finally:
+            self.pyramid_provider.release(pyramid)
+
+    def close(self) -> None:
+        """Release provider-owned resources (a self-created shared pyramid cache)."""
+        self.pyramid_provider.close()
 
     # -- per-level candidate detection --------------------------------------
     def _detect_level_candidates(

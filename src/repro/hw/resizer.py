@@ -16,7 +16,13 @@ from typing import List
 
 from ..config import AcceleratorConfig, PyramidConfig
 from ..errors import HardwareModelError
-from ..image import GrayImage, ImagePyramid, nearest_neighbor_resize
+from ..image import (
+    GrayImage,
+    ImagePyramid,
+    nearest_neighbor_resize,
+    pyramid_level_shapes,
+    resize_dimensions,
+)
 from .cycles import CycleBreakdown
 
 
@@ -56,12 +62,27 @@ class ImageResizerModule:
         """Produce the next pyramid level from ``image``."""
         return nearest_neighbor_resize(image, self.pyramid_config.scale_factor)
 
+    def output_shape(self, image: GrayImage) -> tuple[int, int]:
+        """Shape of the next level, from the shared rounding rule.
+
+        Delegates to :func:`repro.image.resize_dimensions` — the same
+        arithmetic every software pyramid provider uses — so the hardware
+        model and the software levels cannot drift.
+        """
+        return resize_dimensions(image.height, image.width, self.pyramid_config.scale_factor)
+
     def build_pyramid(self, image: GrayImage) -> tuple[ImagePyramid, ResizerReport]:
-        """Build the full pyramid and report per-level resizer cycles."""
+        """Build the full pyramid and report per-level resizer cycles.
+
+        The cycle cost is one cycle per output pixel, so the per-level
+        counts come straight from :func:`repro.image.pyramid_level_shapes`
+        (shared with :mod:`repro.pyramid`) rather than a second private
+        size computation.
+        """
         pyramid = ImagePyramid(image, self.pyramid_config)
+        shapes = pyramid_level_shapes(image.height, image.width, self.pyramid_config)
         per_level = [0.0]  # level 0 is the input image, no resizing cost
-        for level in list(pyramid)[1:]:
-            per_level.append(float(level.image.num_pixels))
+        per_level.extend(float(height * width) for height, width in shapes[1:])
         return pyramid, ResizerReport(per_level, self.accel_config.clock_hz)
 
     def overlap_check(self, image: GrayImage) -> bool:

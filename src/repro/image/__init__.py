@@ -3,7 +3,17 @@
 from .image import GrayImage, box_sum, circular_mask, integral_image, within_border
 from .filters import box_blur, gaussian_blur, gaussian_kernel_1d, gaussian_kernel_2d, sobel_gradients
 from .scratch import edge_pad_into, workspace_array, workspace_grid
-from .pyramid import ImagePyramid, PyramidLevel, nearest_neighbor_resize, pyramid_pixel_ratio
+from .pyramid import (
+    ImagePyramid,
+    PyramidLevel,
+    nearest_neighbor_resize,
+    pyramid_level_shapes,
+    pyramid_pixel_ratio,
+    resize_dimensions,
+    resize_nearest_into,
+    resize_source_indices,
+    validate_pyramid_base,
+)
 from .synthetic import (
     add_gaussian_noise,
     checkerboard,
@@ -31,7 +41,12 @@ __all__ = [
     "ImagePyramid",
     "PyramidLevel",
     "nearest_neighbor_resize",
+    "pyramid_level_shapes",
     "pyramid_pixel_ratio",
+    "resize_dimensions",
+    "resize_nearest_into",
+    "resize_source_indices",
+    "validate_pyramid_base",
     "checkerboard",
     "random_blocks",
     "textured_noise",

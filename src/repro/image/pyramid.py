@@ -11,13 +11,132 @@ functional output.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..config import PyramidConfig
 from ..errors import ImageError
 from .image import GrayImage
+from .scratch import Workspace, workspace_array
+
+
+def resize_dimensions(height: int, width: int, scale: float) -> Tuple[int, int]:
+    """Destination ``(height, width)`` of one nearest-neighbour resize step.
+
+    The single definition of the level-size rounding rule, shared by the
+    software pyramid, every :mod:`repro.pyramid` provider and the hardware
+    Image Resizing model (:mod:`repro.hw.resizer`), so level geometry cannot
+    drift between the software and hardware paths.
+    """
+    if scale < 1.0:
+        raise ImageError("scale must be >= 1.0 for downsampling")
+    return max(1, int(round(height / scale))), max(1, int(round(width / scale)))
+
+
+def resize_source_indices(dst_size: int, src_size: int, scale: float) -> np.ndarray:
+    """Source index of every destination sample along one axis.
+
+    Destination sample ``i`` reads source sample ``floor(i * scale)``
+    clamped to the source extent — the hardware resizer's sampling grid,
+    shared by the eager, streaming and shared-cache builds.
+    """
+    return np.minimum((np.arange(dst_size) * scale).astype(np.int64), src_size - 1)
+
+
+def resize_nearest_into(
+    src: np.ndarray,
+    scale: float,
+    out: np.ndarray,
+    band_rows: Optional[int] = None,
+    workspace: Optional[Workspace] = None,
+) -> np.ndarray:
+    """Nearest-neighbour downsample ``src`` into the preallocated ``out``.
+
+    ``out`` must have exactly the shape :func:`resize_dimensions` predicts
+    for ``src`` and ``scale``.  With ``band_rows`` set the destination is
+    produced in row bands (source rows gathered into a reused ``workspace``
+    scratch strip, then columns gathered into the output band), bounding the
+    per-call scratch to one band regardless of level size; the banded and
+    whole-level paths gather identical indices, so the output is
+    bit-identical either way.
+    """
+    src_h, src_w = src.shape
+    if out.shape != resize_dimensions(src_h, src_w, scale):
+        raise ImageError(
+            f"resize output shape {out.shape} does not match the "
+            f"{resize_dimensions(src_h, src_w, scale)} this scale produces"
+        )
+    dst_h, dst_w = out.shape
+    src_rows = resize_source_indices(dst_h, src_h, scale)
+    src_cols = resize_source_indices(dst_w, src_w, scale)
+    if band_rows is None or band_rows >= dst_h:
+        out[:] = src[np.ix_(src_rows, src_cols)]
+        return out
+    if band_rows < 1:
+        raise ImageError("band_rows must be positive")
+    for start in range(0, dst_h, band_rows):
+        stop = min(start + band_rows, dst_h)
+        band = workspace_array(
+            workspace, "pyramid_row_band", (stop - start, src_w), src.dtype
+        )
+        band[:] = src[src_rows[start:stop]]
+        out[start:stop] = band[:, src_cols]
+    return out
+
+
+def pyramid_level_shapes(
+    height: int, width: int, config: PyramidConfig | None = None
+) -> List[Tuple[int, int]]:
+    """Shape of every pyramid level for a ``height`` x ``width`` base image.
+
+    Pure arithmetic (no pixels touched): applies :func:`resize_dimensions`
+    level by level, so lazily-built pyramids can report pixel counts — and
+    the shared-memory cache can compute slot layouts — without building
+    anything.
+    """
+    cfg = config or PyramidConfig()
+    shapes = [(int(height), int(width))]
+    for _ in range(1, cfg.num_levels):
+        shapes.append(resize_dimensions(*shapes[-1], cfg.scale_factor))
+    return shapes
+
+
+def validate_pyramid_base(
+    base: object, config: PyramidConfig | None = None, min_level_size: int = 1
+) -> GrayImage:
+    """Validate a pyramid base image; returns it as a :class:`GrayImage`.
+
+    Rejects non-``uint8`` raw arrays (a float array silently rescaled by
+    :class:`GrayImage` is almost always a caller bug on the extraction hot
+    path) and images whose **deepest** level would be smaller than
+    ``min_level_size`` (the descriptor patch / FAST border window), raising
+    a clear :class:`~repro.errors.ImageError` instead of letting the
+    downstream stages fail with shape errors.
+    """
+    if isinstance(base, GrayImage):
+        image = base
+    elif isinstance(base, np.ndarray):
+        if base.dtype != np.uint8:
+            raise ImageError(
+                f"pyramid base must be uint8 pixels, got dtype {base.dtype}; "
+                "wrap explicit conversions in GrayImage first"
+            )
+        image = GrayImage(base)
+    else:
+        raise ImageError(
+            f"pyramid base must be a GrayImage or uint8 array, got {type(base).__name__}"
+        )
+    if min_level_size > 1:
+        deepest = pyramid_level_shapes(image.height, image.width, config)[-1]
+        if min(deepest) < min_level_size:
+            raise ImageError(
+                f"image of {image.height}x{image.width} pixels shrinks to "
+                f"{deepest[0]}x{deepest[1]} at the deepest pyramid level, smaller "
+                f"than the {min_level_size}x{min_level_size} patch/border window "
+                "the extractor needs; use a larger image or fewer pyramid levels"
+            )
+    return image
 
 
 def nearest_neighbor_resize(image: GrayImage, scale: float) -> GrayImage:
@@ -26,15 +145,12 @@ def nearest_neighbor_resize(image: GrayImage, scale: float) -> GrayImage:
     ``scale`` is the ratio between source and destination size (a scale of
     1.2 shrinks both dimensions by 1/1.2).  The sampling grid matches the
     hardware resizer: destination pixel ``(i, j)`` reads source pixel
-    ``(floor(i*scale), floor(j*scale))``.
+    ``(floor(i*scale), floor(j*scale))``; rounding and sampling both live in
+    the shared helpers above.
     """
-    if scale < 1.0:
-        raise ImageError("scale must be >= 1.0 for downsampling")
-    dst_h = max(1, int(round(image.height / scale)))
-    dst_w = max(1, int(round(image.width / scale)))
-    src_rows = np.minimum((np.arange(dst_h) * scale).astype(np.int64), image.height - 1)
-    src_cols = np.minimum((np.arange(dst_w) * scale).astype(np.int64), image.width - 1)
-    return GrayImage(image.pixels[np.ix_(src_rows, src_cols)])
+    out = np.empty(resize_dimensions(image.height, image.width, scale), dtype=np.uint8)
+    resize_nearest_into(image.pixels, scale, out)
+    return GrayImage(out)
 
 
 @dataclass(frozen=True)
@@ -56,15 +172,25 @@ class ImagePyramid:
     Parameters
     ----------
     base:
-        The level-0 image.
+        The level-0 image (a :class:`GrayImage`, or a raw ``uint8`` array;
+        other dtypes are rejected — see :func:`validate_pyramid_base`).
     config:
         Number of levels and scale factor between consecutive levels.
+    min_level_size:
+        Smallest side the deepest level may have; images that shrink below
+        it raise :class:`~repro.errors.ImageError` up front instead of
+        failing with shape errors downstream.
     """
 
-    def __init__(self, base: GrayImage, config: PyramidConfig | None = None) -> None:
+    def __init__(
+        self,
+        base: GrayImage,
+        config: PyramidConfig | None = None,
+        min_level_size: int = 1,
+    ) -> None:
+        # num_levels/scale_factor validity is PyramidConfig.__post_init__'s job
         self.config = config or PyramidConfig()
-        if self.config.num_levels < 1:
-            raise ImageError("pyramid must have at least one level")
+        base = validate_pyramid_base(base, self.config, min_level_size)
         levels: List[PyramidLevel] = [PyramidLevel(0, 1.0, base)]
         current = base
         for level in range(1, self.config.num_levels):
@@ -73,6 +199,18 @@ class ImagePyramid:
                 PyramidLevel(level, self.config.level_scale(level), current)
             )
         self._levels = levels
+
+    @classmethod
+    def from_levels(
+        cls, levels: Sequence[PyramidLevel], config: PyramidConfig
+    ) -> "ImagePyramid":
+        """Wrap already-built levels (cache attachments, tests) without rebuilding."""
+        if not levels:
+            raise ImageError("pyramid must have at least one level")
+        pyramid = cls.__new__(cls)
+        pyramid.config = config
+        pyramid._levels = list(levels)
+        return pyramid
 
     # -- access ----------------------------------------------------------
     @property

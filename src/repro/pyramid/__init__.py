@@ -1,0 +1,42 @@
+"""Streaming pyramid providers with a shared-memory cross-worker cache.
+
+The pyramid feeding the extraction engines is delegated to a
+registry-selected :class:`PyramidProvider` (``eager`` / ``streaming`` /
+``shared``), named by ``ExtractorConfig.pyramid.provider`` and bit-identical
+across providers.  See ``docs/pyramid.md`` for the architecture and
+``benchmarks/bench_pyramid_speedup.py`` for the build-cost / cache-reuse
+numbers.
+"""
+
+from .base import (
+    PyramidProvider,
+    available_providers,
+    create_provider,
+    minimum_level_size,
+    register_provider,
+)
+from .eager import EagerProvider
+from .shared import (
+    CachedPyramid,
+    PyramidCacheHandle,
+    SharedProvider,
+    SharedPyramidCache,
+    pyramid_slot_bytes,
+)
+from .streaming import StreamingProvider, StreamingPyramid
+
+__all__ = [
+    "PyramidProvider",
+    "available_providers",
+    "create_provider",
+    "register_provider",
+    "minimum_level_size",
+    "EagerProvider",
+    "StreamingProvider",
+    "StreamingPyramid",
+    "SharedProvider",
+    "SharedPyramidCache",
+    "PyramidCacheHandle",
+    "CachedPyramid",
+    "pyramid_slot_bytes",
+]

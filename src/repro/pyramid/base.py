@@ -1,0 +1,117 @@
+"""Pyramid provider interface and registry.
+
+The multi-scale pyramid feeding the extraction engines is delegated to a
+pluggable **pyramid provider**, mirroring the two engine layers
+(:mod:`repro.backends`, :mod:`repro.frontend`).  A provider is constructed
+once from an :class:`~repro.config.ExtractorConfig` and then serves any
+number of frames; three implementations are registered:
+
+* ``eager`` -- materialises every level up front with
+  :class:`repro.image.ImagePyramid`, the original software behaviour and
+  the reference the other providers must match bit for bit
+  (:mod:`repro.pyramid.eager`);
+* ``streaming`` -- builds each level just in time, in row bands gathered
+  through a reused scratch strip, while the engines consume the previous
+  one — the software twin of the paper's Image Resizing module, which
+  produces layer ``k+1`` while the ORB Extractor processes layer ``k``
+  (:mod:`repro.pyramid.streaming`);
+* ``shared`` -- a ``multiprocessing.shared_memory`` pyramid cache keyed by
+  frame id, so N cluster workers or a multi-engine fan-out attach zero-copy
+  to one build per frame instead of rebuilding it N times
+  (:mod:`repro.pyramid.shared`).
+
+Providers self-register through :func:`register_provider`;
+``ExtractorConfig.pyramid.provider`` names the provider and
+:func:`create_provider` resolves it, exactly like the engine registries.
+``docs/pyramid.md`` documents the architecture.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, ClassVar, Dict, List, Optional, Type
+
+from ..config import ExtractorConfig
+from ..image import GrayImage, ImagePyramid
+from ..registry import ClassRegistry
+
+
+def minimum_level_size(config: ExtractorConfig) -> int:
+    """Smallest side the deepest pyramid level may have under ``config``.
+
+    The detection border and the descriptor patch both need a full window
+    inside the level; a level smaller than this window can only produce
+    shape errors downstream, so providers reject such images up front
+    (see :func:`repro.image.validate_pyramid_base`).
+    """
+    border = max(config.fast.border, config.descriptor.patch_radius + 1)
+    return 2 * border + 1
+
+
+class PyramidProvider(ABC):
+    """Pyramid construction strategy behind the ORB extractor.
+
+    ``acquire`` hands out a pyramid for one frame and ``release`` returns
+    it once extraction is done — a no-op for locally-built pyramids, a
+    refcount decrement for shared-cache attachments.  Providers hold only
+    immutable configuration plus thread-local scratch, so one instance can
+    serve many frames in flight (:class:`repro.serving.FrameServer`).
+    """
+
+    name: ClassVar[str] = "abstract"
+
+    def __init__(
+        self, config: ExtractorConfig, cache: Optional[object] = None
+    ) -> None:
+        self.config = config
+        self.min_level_size = minimum_level_size(config)
+        self.builds = 0
+
+    @abstractmethod
+    def acquire(
+        self, image: GrayImage, frame_id: Optional[int] = None
+    ) -> ImagePyramid:
+        """Return a pyramid over ``image`` (levels bit-identical to eager).
+
+        ``frame_id`` keys cross-consumer reuse for the ``shared`` provider;
+        the local providers ignore it.
+        """
+
+    def release(self, pyramid: ImagePyramid) -> None:
+        """Return a pyramid obtained from :meth:`acquire` (default: no-op)."""
+
+    def close(self) -> None:
+        """Release provider-owned resources (default: none)."""
+
+    def stats(self) -> Dict[str, object]:
+        """Provider counters (cache providers add hit/miss columns)."""
+        return {"provider": self.name, "builds": self.builds}
+
+
+_REGISTRY: ClassRegistry[PyramidProvider] = ClassRegistry("pyramid provider")
+
+
+def register_provider(
+    name: str,
+) -> Callable[[Type[PyramidProvider]], Type[PyramidProvider]]:
+    """Class decorator registering a pyramid provider under ``name``."""
+    return _REGISTRY.register(name)
+
+
+def available_providers() -> List[str]:
+    """Names of all registered pyramid providers, sorted."""
+    return _REGISTRY.names()
+
+
+def create_provider(
+    name: str,
+    config: ExtractorConfig | None = None,
+    cache: Optional[object] = None,
+) -> PyramidProvider:
+    """Instantiate the pyramid provider registered under ``name``.
+
+    ``cache`` optionally injects a :class:`~repro.pyramid.SharedPyramidCache`
+    (or an attached handle's cache) into providers that can use one; local
+    providers accept and ignore it.
+    """
+    return _REGISTRY.create(name, config or ExtractorConfig(), cache=cache)

@@ -1,0 +1,26 @@
+"""The eager pyramid provider: every level materialised up front.
+
+This is the original software behaviour, kept as the reference the
+``streaming`` and ``shared`` providers must match bit for bit (asserted by
+``tests/test_pyramid.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..image import GrayImage, ImagePyramid
+from .base import PyramidProvider, register_provider
+
+
+@register_provider("eager")
+class EagerProvider(PyramidProvider):
+    """Build the whole :class:`~repro.image.ImagePyramid` per frame."""
+
+    def acquire(
+        self, image: GrayImage, frame_id: Optional[int] = None
+    ) -> ImagePyramid:
+        self.builds += 1
+        return ImagePyramid(
+            image, self.config.pyramid, min_level_size=self.min_level_size
+        )

@@ -1,0 +1,465 @@
+"""Cross-worker pyramid cache in ``multiprocessing.shared_memory``.
+
+A cluster worker rebuilds the pyramid per extraction exactly like the
+sequential path, so serving the same frame to several engines (or fanning
+one frame out to several workers) used to cost one full pyramid build per
+consumer.  :class:`SharedPyramidCache` stores one built pyramid per
+in-flight frame in a single shared-memory block: the first consumer (or
+the producer, in the cluster) builds the levels **directly into the shared
+pages**, and every other consumer attaches zero-copy numpy views over the
+same physical memory — N consumers, one build.
+
+Slots are refcounted: ``attach`` leases a slot (refcount + 1), releasing
+the returned :class:`CachedPyramid` returns the lease, and ``retire``
+marks a frame reclaimable once every lease is back.  Publishing reuses
+empty slots first, then evicts the oldest unreferenced entry; when every
+slot is leased the publish fails and the caller falls back to a local
+build (the cache never blocks extraction).
+
+All slot metadata lives in an ``int64`` header at the front of the shared
+block, mutated under one ``multiprocessing`` lock, so the hit/miss/build
+counters aggregate across every attached process — the cluster benchmark
+reads them from the parent.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..config import ExtractorConfig, PyramidConfig
+from ..errors import ImageError
+from ..image import (
+    GrayImage,
+    ImagePyramid,
+    pyramid_level_shapes,
+    resize_nearest_into,
+    validate_pyramid_base,
+)
+from ..image.pyramid import PyramidLevel
+from .base import PyramidProvider, register_provider
+
+# header layout (int64 words): global counters, then per-slot records
+_GLOBAL_WORDS = 6
+_HITS, _MISSES, _PUBLISHES, _EVICTIONS, _LOCAL_BUILDS, _SEQ = range(_GLOBAL_WORDS)
+_SLOT_WORDS = 6
+_S_FRAME, _S_REFCOUNT, _S_STATE, _S_HEIGHT, _S_WIDTH, _S_SEQ = range(_SLOT_WORDS)
+_EMPTY, _VALID, _RETIRED, _PENDING = 0, 1, 2, 3
+_NO_FRAME = -1
+
+
+def pyramid_slot_bytes(config: ExtractorConfig) -> int:
+    """Bytes one cached pyramid occupies for ``config``-sized frames."""
+    return sum(
+        height * width
+        for height, width in pyramid_level_shapes(
+            config.image_height, config.image_width, config.pyramid
+        )
+    )
+
+
+@dataclass(frozen=True)
+class PyramidCacheHandle:
+    """Picklable attachment handle handed to worker processes.
+
+    Carries everything :meth:`SharedPyramidCache.attach_handle` needs:
+    the shared block's system-wide name, the slot geometry, the pyramid
+    configuration (level shapes are recomputed from it) and the shared
+    lock.  The lock only survives pickling through process inheritance —
+    pass the handle in ``Process(args=...)``, not through a queue.
+    """
+
+    name: str
+    num_slots: int
+    slot_bytes: int
+    pyramid_config: PyramidConfig
+    lock: object
+
+
+class CachedPyramid(ImagePyramid):
+    """A pyramid whose levels are zero-copy views of shared cache pages.
+
+    Behaves exactly like an :class:`~repro.image.ImagePyramid`; ``close``
+    returns the slot lease (idempotent).  The provider releases it after
+    extraction — extraction results never reference level pixels, so the
+    slot can be reused as soon as every lease is back.
+    """
+
+    def __init__(
+        self,
+        cache: "SharedPyramidCache",
+        slot: int,
+        levels: List[PyramidLevel],
+        config: PyramidConfig,
+    ) -> None:
+        self.config = config
+        self._levels = levels
+        self._cache = cache
+        self._slot = slot
+        self._leased = True
+
+    def close(self) -> None:
+        if self._leased:
+            self._leased = False
+            self._cache._release_slot(self._slot)
+
+
+class SharedPyramidCache:
+    """Refcounted shared-memory pyramid slots, one block for all workers."""
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        lock,
+        num_slots: int,
+        slot_bytes: int,
+        pyramid_config: PyramidConfig,
+        owner: bool,
+    ) -> None:
+        self.num_slots = num_slots
+        self.slot_bytes = slot_bytes
+        self.pyramid_config = pyramid_config
+        self._shm = shm
+        self._lock = lock
+        self._owner = owner
+        self._closed = False
+        self._last_stats: Dict[str, object] = {}
+        header_words = _GLOBAL_WORDS + _SLOT_WORDS * num_slots
+        self._header = np.ndarray(header_words, dtype=np.int64, buffer=shm.buf)
+        # data starts at the next 64-byte boundary after the header
+        self._data_offset = ((header_words * 8 + 63) // 64) * 64
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        config: ExtractorConfig,
+        num_slots: int = 4,
+        context=None,
+    ) -> "SharedPyramidCache":
+        """Owner-side cache sized for ``num_slots`` frames of ``config`` shape."""
+        if num_slots <= 0:
+            raise ImageError("pyramid cache needs at least one slot")
+        slot_bytes = pyramid_slot_bytes(config)
+        header_words = _GLOBAL_WORDS + _SLOT_WORDS * num_slots
+        data_offset = ((header_words * 8 + 63) // 64) * 64
+        shm = shared_memory.SharedMemory(
+            create=True, size=data_offset + num_slots * slot_bytes
+        )
+        context = context or multiprocessing.get_context()
+        cache = cls(shm, context.Lock(), num_slots, slot_bytes, config.pyramid, owner=True)
+        cache._header[:] = 0
+        for slot in range(num_slots):
+            cache._slot_field_set(slot, _S_FRAME, _NO_FRAME)
+        return cache
+
+    @classmethod
+    def attach_handle(cls, handle: PyramidCacheHandle) -> "SharedPyramidCache":
+        """Worker-side attachment to a cache created in another process."""
+        shm = shared_memory.SharedMemory(name=handle.name)
+        return cls(
+            shm,
+            handle.lock,
+            handle.num_slots,
+            handle.slot_bytes,
+            handle.pyramid_config,
+            owner=False,
+        )
+
+    def handle(self) -> PyramidCacheHandle:
+        """The picklable handle workers attach with (via ``Process`` args)."""
+        return PyramidCacheHandle(
+            name=self._shm.name,
+            num_slots=self.num_slots,
+            slot_bytes=self.slot_bytes,
+            pyramid_config=self.pyramid_config,
+            lock=self._lock,
+        )
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ImageError("shared pyramid cache is closed")
+
+    # -- header helpers (callers hold the lock) ----------------------------
+    def _slot_field(self, slot: int, field: int) -> int:
+        return int(self._header[_GLOBAL_WORDS + slot * _SLOT_WORDS + field])
+
+    def _slot_field_set(self, slot: int, field: int, value: int) -> None:
+        self._header[_GLOBAL_WORDS + slot * _SLOT_WORDS + field] = value
+
+    def _level_views(self, slot: int, height: int, width: int) -> List[np.ndarray]:
+        shapes = pyramid_level_shapes(height, width, self.pyramid_config)
+        views = []
+        offset = self._data_offset + slot * self.slot_bytes
+        for shape in shapes:
+            views.append(
+                np.ndarray(shape, dtype=np.uint8, buffer=self._shm.buf, offset=offset)
+            )
+            offset += shape[0] * shape[1]
+        return views
+
+    def _find_slot(self, frame_id: int) -> Optional[int]:
+        for slot in range(self.num_slots):
+            if (
+                self._slot_field(slot, _S_FRAME) == frame_id
+                and self._slot_field(slot, _S_STATE) != _EMPTY
+            ):
+                return slot
+        return None
+
+    def _reclaim_slot(self, slot: int) -> None:
+        self._slot_field_set(slot, _S_STATE, _EMPTY)
+        self._slot_field_set(slot, _S_FRAME, _NO_FRAME)
+        self._slot_field_set(slot, _S_REFCOUNT, 0)
+
+    # -- cache operations --------------------------------------------------
+    def publish(self, frame_id: int, pixels: np.ndarray) -> bool:
+        """Build the pyramid for ``pixels`` directly into a shared slot.
+
+        Returns False (caller builds locally) when the frame does not fit a
+        slot or every slot is leased/pending; True when the frame is cached
+        (including the idempotent already-cached case).  The slot is claimed
+        in a PENDING state under the lock, but the level construction itself
+        runs **outside** it, so workers attaching/releasing other frames are
+        never stalled behind a build; attaches of a still-pending frame miss
+        and fall back to a local build.
+        """
+        self._ensure_open()
+        if frame_id < 0:
+            raise ImageError("pyramid cache frame ids must be non-negative")
+        if pixels.ndim != 2 or pixels.dtype != np.uint8:
+            raise ImageError("pyramid cache slots carry 2-D uint8 pixel arrays")
+        height, width = pixels.shape
+        shapes = pyramid_level_shapes(height, width, self.pyramid_config)
+        if sum(h * w for h, w in shapes) > self.slot_bytes:
+            return False
+        with self._lock:
+            if self._find_slot(frame_id) is not None:
+                return True  # another consumer already published this frame
+            slot = None
+            oldest_seq = None
+            evicting = False
+            for candidate in range(self.num_slots):
+                state = self._slot_field(candidate, _S_STATE)
+                if state == _EMPTY:
+                    slot, evicting = candidate, False
+                    break
+                if state == _VALID and self._slot_field(candidate, _S_REFCOUNT) == 0:
+                    seq = self._slot_field(candidate, _S_SEQ)
+                    if oldest_seq is None or seq < oldest_seq:
+                        slot, oldest_seq, evicting = candidate, seq, True
+            if slot is None:
+                return False  # every slot leased or awaiting retirement
+            if evicting:
+                self._header[_EVICTIONS] += 1
+            self._slot_field_set(slot, _S_FRAME, frame_id)
+            self._slot_field_set(slot, _S_REFCOUNT, 0)
+            self._slot_field_set(slot, _S_STATE, _PENDING)
+            self._slot_field_set(slot, _S_HEIGHT, height)
+            self._slot_field_set(slot, _S_WIDTH, width)
+            views = self._level_views(slot, height, width)
+        try:
+            # the claimed slot is invisible to attach() until flipped VALID,
+            # so the memcpy + resizes can safely run lock-free
+            views[0][:] = pixels
+            for previous, current in zip(views, views[1:]):
+                resize_nearest_into(previous, self.pyramid_config.scale_factor, current)
+        except BaseException:
+            with self._lock:
+                self._reclaim_slot(slot)
+            raise
+        with self._lock:
+            self._slot_field_set(slot, _S_STATE, _VALID)
+            self._slot_field_set(slot, _S_SEQ, int(self._header[_SEQ]))
+            self._header[_SEQ] += 1
+            self._header[_PUBLISHES] += 1
+        return True
+
+    def attach(
+        self, frame_id: int, expected_shape: Optional[Tuple[int, int]] = None
+    ) -> Optional[CachedPyramid]:
+        """Lease the cached pyramid for ``frame_id``; ``None`` on miss."""
+        self._ensure_open()
+        with self._lock:
+            slot = self._find_slot(frame_id)
+            if slot is None or self._slot_field(slot, _S_STATE) != _VALID:
+                self._header[_MISSES] += 1
+                return None
+            height = self._slot_field(slot, _S_HEIGHT)
+            width = self._slot_field(slot, _S_WIDTH)
+            if expected_shape is not None and (height, width) != tuple(expected_shape):
+                self._header[_MISSES] += 1
+                return None
+            self._slot_field_set(slot, _S_REFCOUNT, self._slot_field(slot, _S_REFCOUNT) + 1)
+            self._header[_HITS] += 1
+            views = self._level_views(slot, height, width)
+        levels = [
+            PyramidLevel(index, self.pyramid_config.level_scale(index), GrayImage(view))
+            for index, view in enumerate(views)
+        ]
+        return CachedPyramid(self, slot, levels, self.pyramid_config)
+
+    def _release_slot(self, slot: int) -> None:
+        if self._closed:
+            return  # leases returned during teardown have nothing to update
+        with self._lock:
+            refcount = self._slot_field(slot, _S_REFCOUNT) - 1
+            if refcount < 0:
+                raise ImageError(f"pyramid cache slot {slot} released more than leased")
+            self._slot_field_set(slot, _S_REFCOUNT, refcount)
+            if refcount == 0 and self._slot_field(slot, _S_STATE) == _RETIRED:
+                self._reclaim_slot(slot)
+
+    def retire(self, frame_id: int, force: bool = False) -> None:
+        """Mark ``frame_id`` reclaimable; ``force`` also voids open leases.
+
+        The cluster server retires a frame once its result is collected
+        (the worker has released by then); ``force`` handles crashed
+        workers whose leases can never come back.
+        """
+        if self._closed:
+            return
+        with self._lock:
+            slot = self._find_slot(frame_id)
+            if slot is None:
+                return
+            if force:
+                self._slot_field_set(slot, _S_REFCOUNT, 0)
+            if self._slot_field(slot, _S_REFCOUNT) == 0:
+                self._reclaim_slot(slot)
+            else:
+                self._slot_field_set(slot, _S_STATE, _RETIRED)
+
+    def record_local_build(self) -> None:
+        """Count a consumer that fell back to a local build (cache miss path)."""
+        if self._closed:
+            return
+        with self._lock:
+            self._header[_LOCAL_BUILDS] += 1
+
+    def refcount(self, frame_id: int) -> int:
+        """Open leases on ``frame_id`` (0 when absent); for tests/diagnostics."""
+        if self._closed:
+            return 0
+        with self._lock:
+            slot = self._find_slot(frame_id)
+            return 0 if slot is None else self._slot_field(slot, _S_REFCOUNT)
+
+    def stats(self) -> Dict[str, object]:
+        """Aggregate counters across every attached process.
+
+        After :meth:`close` the final pre-close snapshot is returned, so
+        reading a server's cache report after tearing the cluster down
+        works just like reading its :class:`~repro.cluster.ClusterStats`.
+        """
+        if self._closed:
+            return dict(self._last_stats)
+        with self._lock:
+            hits = int(self._header[_HITS])
+            misses = int(self._header[_MISSES])
+            snapshot = {
+                "hits": hits,
+                "misses": misses,
+                "publishes": int(self._header[_PUBLISHES]),
+                "evictions": int(self._header[_EVICTIONS]),
+                "local_builds": int(self._header[_LOCAL_BUILDS]),
+                "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+                "num_slots": self.num_slots,
+                "slots_in_use": sum(
+                    1
+                    for slot in range(self.num_slots)
+                    if self._slot_field(slot, _S_STATE) != _EMPTY
+                ),
+            }
+        return snapshot
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        """Detach from the shared block (the owner also unlinks it)."""
+        if self._closed:
+            return
+        self._last_stats = self.stats()  # final snapshot stays readable
+        self._closed = True
+        self._header = None  # drop our own exported view before unmapping
+        try:
+            self._shm.close()
+        except BufferError:
+            pass  # a CachedPyramid view is still alive; the unlink below
+            # (owner) still removes the name, and the map goes with the views
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __enter__(self) -> "SharedPyramidCache":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+@register_provider("shared")
+class SharedProvider(PyramidProvider):
+    """Serve pyramids through a :class:`SharedPyramidCache`.
+
+    With a ``frame_id`` the provider first tries to attach to an existing
+    build, then to publish one into the cache for later consumers, and only
+    then falls back to a private local build (recorded as ``local_builds``).
+    Without a ``frame_id`` (plain ``extract`` calls) it behaves like the
+    eager provider.  An injected cache (cluster workers, multi-engine
+    fan-out) is shared and left open; a lazily self-created one is owned
+    and unlinked on :meth:`close`.
+    """
+
+    def __init__(self, config, cache: Optional[SharedPyramidCache] = None) -> None:
+        super().__init__(config, cache=cache)
+        self._cache = cache
+        self._owns_cache = False
+
+    @property
+    def cache(self) -> SharedPyramidCache:
+        if self._cache is None:
+            self._cache = SharedPyramidCache.create(self.config)
+            self._owns_cache = True
+        return self._cache
+
+    def acquire(
+        self, image: GrayImage, frame_id: Optional[int] = None
+    ) -> ImagePyramid:
+        base = validate_pyramid_base(image, self.config.pyramid, self.min_level_size)
+        if frame_id is not None:
+            cached = self.cache.attach(frame_id, expected_shape=base.shape)
+            if cached is not None:
+                return cached
+            if self.cache.publish(frame_id, base.pixels):
+                cached = self.cache.attach(frame_id, expected_shape=base.shape)
+                if cached is not None:
+                    return cached
+            self.cache.record_local_build()
+        self.builds += 1
+        return ImagePyramid(base, self.config.pyramid)
+
+    def release(self, pyramid: ImagePyramid) -> None:
+        if isinstance(pyramid, CachedPyramid):
+            pyramid.close()
+
+    def close(self) -> None:
+        if self._owns_cache and self._cache is not None:
+            self._cache.close()
+
+    def stats(self) -> Dict[str, object]:
+        report = super().stats()
+        if self._cache is not None:
+            report.update(self._cache.stats())
+        return report

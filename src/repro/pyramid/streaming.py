@@ -1,0 +1,133 @@
+"""The streaming pyramid provider: levels built just in time, in row bands.
+
+The paper's accelerator never materialises the whole pyramid before
+extraction starts: the Image Resizing module produces layer ``k+1`` while
+the ORB Extractor is still streaming layer ``k`` through the image-cache
+FSM.  :class:`StreamingPyramid` is the software twin of that schedule —
+level ``k+1`` is constructed only when the engine layer asks for it (i.e.
+after level ``k``'s detection pass has consumed its pixels), and each level
+is produced in fixed-height row bands gathered through one reused scratch
+strip (:mod:`repro.image.scratch`), so construction scratch stays bounded
+by a band regardless of frame size.
+
+Banded gathers address exactly the indices the eager ``np.ix_`` gather
+addresses, so every level is bit-identical to the eager build (asserted by
+``tests/test_pyramid.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import PyramidConfig
+from ..errors import ImageError
+from ..image import GrayImage, ImagePyramid, pyramid_level_shapes, resize_nearest_into
+from ..image.pyramid import PyramidLevel
+from ..image.scratch import Workspace
+from .base import PyramidProvider, register_provider
+
+#: Rows per construction band; one VGA band strip is ~30 KB of scratch.
+DEFAULT_BAND_ROWS = 48
+
+
+class StreamingPyramid(ImagePyramid):
+    """An :class:`~repro.image.ImagePyramid` whose levels build on demand.
+
+    Only level 0 exists at construction; requesting level ``k`` builds
+    levels up to ``k`` band by band from their predecessors.  Workload
+    statistics (:meth:`total_pixels`, :meth:`pixel_counts`) come from the
+    shared level-shape arithmetic, so reading them never forces a build.
+    """
+
+    def __init__(
+        self,
+        base: GrayImage,
+        config: PyramidConfig,
+        workspace: Optional[Workspace] = None,
+        band_rows: int = DEFAULT_BAND_ROWS,
+    ) -> None:
+        self.config = config
+        self._levels: List[PyramidLevel] = [PyramidLevel(0, 1.0, base)]
+        self._workspace = workspace
+        self._band_rows = band_rows
+        self._shapes = pyramid_level_shapes(base.height, base.width, config)
+
+    # -- lazy construction -------------------------------------------------
+    def levels_built(self) -> int:
+        """How many levels exist right now (monotone, for tests/stats)."""
+        return len(self._levels)
+
+    def _build_next_level(self) -> None:
+        previous = self._levels[-1]
+        index = len(self._levels)
+        out = np.empty(self._shapes[index], dtype=np.uint8)
+        resize_nearest_into(
+            previous.image.pixels,
+            self.config.scale_factor,
+            out,
+            band_rows=self._band_rows,
+            workspace=self._workspace,
+        )
+        self._levels.append(
+            PyramidLevel(index, self.config.level_scale(index), GrayImage(out))
+        )
+
+    # -- ImagePyramid surface (lazy overrides) -----------------------------
+    @property
+    def num_levels(self) -> int:
+        return self.config.num_levels
+
+    def level(self, index: int) -> PyramidLevel:
+        if index < 0 or index >= self.num_levels:
+            raise ImageError(f"level {index} outside [0, {self.num_levels})")
+        while len(self._levels) <= index:
+            self._build_next_level()
+        return self._levels[index]
+
+    def __iter__(self) -> Iterator[PyramidLevel]:
+        return (self.level(index) for index in range(self.num_levels))
+
+    def __len__(self) -> int:
+        return self.num_levels
+
+    @property
+    def levels(self) -> Sequence[PyramidLevel]:
+        return tuple(self.level(index) for index in range(self.num_levels))
+
+    # -- workload statistics (shape arithmetic, no pixels) -----------------
+    def total_pixels(self) -> int:
+        return sum(height * width for height, width in self._shapes)
+
+    def pixel_counts(self) -> List[int]:
+        return [height * width for height, width in self._shapes]
+
+    def level_shapes(self) -> List[Tuple[int, int]]:
+        """Per-level shapes (level 0 first), without building anything."""
+        return list(self._shapes)
+
+
+@register_provider("streaming")
+class StreamingProvider(PyramidProvider):
+    """Serve :class:`StreamingPyramid` instances over a per-thread workspace."""
+
+    def __init__(self, config, cache=None) -> None:
+        super().__init__(config, cache=cache)
+        self._local = threading.local()
+
+    def _workspace(self) -> Workspace:
+        workspace = getattr(self._local, "workspace", None)
+        if workspace is None:
+            workspace = self._local.workspace = {}
+        return workspace
+
+    def acquire(
+        self, image: GrayImage, frame_id: Optional[int] = None
+    ) -> StreamingPyramid:
+        from ..image import validate_pyramid_base
+
+        base = validate_pyramid_base(image, self.config.pyramid, self.min_level_size)
+        self.builds += 1
+        return StreamingPyramid(base, self.config.pyramid, workspace=self._workspace())

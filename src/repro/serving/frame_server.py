@@ -219,40 +219,53 @@ class FrameServer:
         self.close()
 
     # -- serving -----------------------------------------------------------
-    def submit(self, image: GrayImage) -> "Future[ExtractionResult]":
+    def submit(
+        self, image: GrayImage, frame_id: Optional[int] = None
+    ) -> "Future[ExtractionResult]":
         """Queue one frame; blocks while ``max_in_flight`` frames are pending.
 
         Returns a future resolving to the same :class:`ExtractionResult`
-        sequential extraction would produce.
+        sequential extraction would produce.  ``frame_id`` keys pyramid
+        reuse when the engine's pyramid provider is ``shared`` (several
+        servers over one cache extract the same frame with one build).
         """
         if self._closed:
             raise ReproError("FrameServer is closed")
         self._slots.acquire()
         self.stats._submitted()
         try:
-            future = self._pool.submit(self._extract_one, image)
+            future = self._pool.submit(self._extract_one, image, frame_id)
         except BaseException:
             self.stats._abandoned()
             self._slots.release()
             raise
         return future
 
-    def _extract_one(self, image: GrayImage) -> ExtractionResult:
+    def _extract_one(
+        self, image: GrayImage, frame_id: Optional[int] = None
+    ) -> ExtractionResult:
         start = time.perf_counter()
         try:
-            return self.extractor.extract(image)
+            return self.extractor.extract(image, frame_id=frame_id)
         finally:
             self.stats._completed(time.perf_counter() - start)
             self._slots.release()
 
-    def extract_many(self, images: Iterable[GrayImage]) -> List[ExtractionResult]:
+    def extract_many(
+        self,
+        images: Iterable[GrayImage],
+        frame_ids: Optional[Sequence[int]] = None,
+    ) -> List[ExtractionResult]:
         """Extract every image through the shared engine; results in order.
 
         Submission interleaves with completion (the in-flight window keeps
         the pool saturated while the producer is still iterating), so this
         also serves as the pipelined entry point for whole sequences.
         """
-        futures = [self.submit(image) for image in images]
+        futures = [
+            self.submit(image, frame_id=frame_ids[index] if frame_ids else None)
+            for index, image in enumerate(images)
+        ]
         return [future.result() for future in futures]
 
     def map_frames(

@@ -9,7 +9,9 @@ from repro.image import (
     GrayImage,
     ImagePyramid,
     nearest_neighbor_resize,
+    pyramid_level_shapes,
     pyramid_pixel_ratio,
+    resize_dimensions,
 )
 
 
@@ -76,6 +78,42 @@ class TestImagePyramid:
         pyramid = ImagePyramid(large_blocks_image)
         levels = [level.level for level in pyramid]
         assert levels == [0, 1, 2, 3]
+
+
+class TestSharedResizeArithmetic:
+    """One rounding rule for software levels, providers and the hw resizer."""
+
+    def test_resize_dimensions_matches_resize_output(self, blocks_image):
+        for scale in (1.0, 1.2, 1.5, 2.0):
+            resized = nearest_neighbor_resize(blocks_image, scale)
+            assert resized.shape == resize_dimensions(120, 160, scale)
+
+    def test_level_shapes_match_built_pyramid(self, large_blocks_image):
+        config = PyramidConfig(num_levels=4)
+        pyramid = ImagePyramid(large_blocks_image, config)
+        shapes = pyramid_level_shapes(240, 320, config)
+        assert shapes == [level.image.shape for level in pyramid]
+        assert pyramid.pixel_counts() == [h * w for h, w in shapes]
+
+    def test_hw_resizer_uses_the_same_rule(self, large_blocks_image):
+        from repro.hw.resizer import ImageResizerModule
+
+        module = ImageResizerModule(PyramidConfig(num_levels=4))
+        assert module.output_shape(large_blocks_image) == resize_dimensions(
+            240, 320, module.pyramid_config.scale_factor
+        )
+        assert module.resize(large_blocks_image).shape == module.output_shape(
+            large_blocks_image
+        )
+
+    def test_from_levels_wraps_without_rebuilding(self, large_blocks_image):
+        config = PyramidConfig(num_levels=2)
+        source = ImagePyramid(large_blocks_image, config)
+        wrapped = ImagePyramid.from_levels(source.levels, config)
+        assert wrapped.num_levels == 2
+        assert wrapped.level(1).image is source.level(1).image
+        with pytest.raises(ImageError):
+            ImagePyramid.from_levels([], config)
 
 
 class TestPyramidPixelRatio:
