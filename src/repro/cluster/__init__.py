@@ -2,16 +2,22 @@
 
 :class:`ClusterServer` spawns N worker processes, each owning one
 engine/backend pair, and streams frames to them through
-``multiprocessing.shared_memory`` ring slots (no pixel pickling).  It
-mirrors the thread server's semantics — bounded in-flight back-pressure,
-in-order results, bit-identical extraction — while scaling past the single
-GIL.  See ``docs/serving.md`` for when to pick which server.
+``multiprocessing.shared_memory`` ring slots (no pixel pickling) — or, when
+the ``shared`` pyramid provider is active, through the zero-copy
+shared-pyramid fast path that skips the ring write entirely.  It mirrors
+the thread server's semantics — bounded in-flight back-pressure, in-order
+results, bit-identical extraction — while scaling past the single GIL.
+Placement is pluggable (``round_robin``, ``by_sequence``, load-aware
+``least_loaded``) with optional work stealing between worker backlogs.
+See ``docs/serving.md`` for when to pick which server and policy.
 """
 
 from .router import (
     BySequencePolicy,
+    LeastLoadedPolicy,
     RoundRobinPolicy,
     ShardPolicy,
+    WorkerLoad,
     available_policies,
     create_policy,
     register_policy,
@@ -27,6 +33,8 @@ __all__ = [
     "ShardPolicy",
     "RoundRobinPolicy",
     "BySequencePolicy",
+    "LeastLoadedPolicy",
+    "WorkerLoad",
     "available_policies",
     "create_policy",
     "register_policy",

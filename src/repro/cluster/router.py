@@ -6,19 +6,47 @@ keypoint backends (:mod:`repro.registry`), so configuration stays a plain
 string and unknown names report the registered alternatives.
 
 * ``round_robin`` — spread frames evenly across workers.  Best for a single
-  stream of independent frames (throughput-oriented serving).
+  stream of independent frames of uniform cost (throughput-oriented
+  serving).
 * ``by_sequence`` — pin every frame carrying the same ``shard_key`` to one
   worker.  Best for multi-tenant serving where each client's frames should
   ride one engine (per-sequence cache locality, deterministic placement).
+* ``least_loaded`` — route each frame to the alive worker with the
+  shallowest queue, breaking ties on the lower EWMA extraction latency.
+  Best when per-frame cost is skewed: a static cycle can stack every
+  expensive frame on one worker while the others idle, whereas the load
+  view keeps queue depths level.
+
+The server feeds policies a **live load view**: one :class:`WorkerLoad`
+snapshot per worker (queue depth, EWMA latency, liveness) taken from
+:class:`~repro.cluster.server.ClusterStats` at routing time.  Policies that
+do not care (``round_robin``, ``by_sequence``) simply ignore it.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import ClassVar, List, Optional
+from dataclasses import dataclass
+from typing import ClassVar, List, Optional, Sequence
 
 from ..errors import ReproError
 from ..registry import ClassRegistry
+
+
+@dataclass(frozen=True)
+class WorkerLoad:
+    """One worker's load at routing time, snapshotted by the server.
+
+    ``queue_depth`` counts frames routed to the worker but not yet
+    completed (backlog + dispatched); ``ewma_latency_s`` is the worker's
+    exponentially-weighted recent extraction latency (0.0 before its first
+    completion); ``alive`` is False once the worker process has died.
+    """
+
+    worker_id: int
+    queue_depth: int
+    ewma_latency_s: float
+    alive: bool
 
 
 class ShardPolicy(ABC):
@@ -27,11 +55,19 @@ class ShardPolicy(ABC):
     name: ClassVar[str] = "abstract"
 
     @abstractmethod
-    def route(self, job_index: int, shard_key: Optional[int], num_workers: int) -> int:
+    def route(
+        self,
+        job_index: int,
+        shard_key: Optional[int],
+        num_workers: int,
+        loads: Optional[Sequence[WorkerLoad]] = None,
+    ) -> int:
         """Return the worker index in ``[0, num_workers)`` for one frame.
 
         ``job_index`` is the global submission counter; ``shard_key`` is the
-        caller-supplied affinity key (may be ``None``).
+        caller-supplied affinity key (may be ``None``); ``loads`` is the
+        live per-worker load view (one :class:`WorkerLoad` per worker, in
+        worker order) when the caller has one, else ``None``.
         """
 
 
@@ -51,9 +87,15 @@ def available_policies() -> List[str]:
 
 @register_policy("round_robin")
 class RoundRobinPolicy(ShardPolicy):
-    """Cycle submissions across workers; ignores the shard key."""
+    """Cycle submissions across workers; ignores the shard key and load."""
 
-    def route(self, job_index: int, shard_key: Optional[int], num_workers: int) -> int:
+    def route(
+        self,
+        job_index: int,
+        shard_key: Optional[int],
+        num_workers: int,
+        loads: Optional[Sequence[WorkerLoad]] = None,
+    ) -> int:
         return job_index % num_workers
 
 
@@ -61,9 +103,44 @@ class RoundRobinPolicy(ShardPolicy):
 class BySequencePolicy(ShardPolicy):
     """Pin all frames of one shard key (e.g. one sequence) to one worker."""
 
-    def route(self, job_index: int, shard_key: Optional[int], num_workers: int) -> int:
+    def route(
+        self,
+        job_index: int,
+        shard_key: Optional[int],
+        num_workers: int,
+        loads: Optional[Sequence[WorkerLoad]] = None,
+    ) -> int:
         if shard_key is None:
             raise ReproError(
                 "the by_sequence shard policy requires submit(..., shard_key=...)"
             )
         return int(shard_key) % num_workers
+
+
+@register_policy("least_loaded")
+class LeastLoadedPolicy(ShardPolicy):
+    """Route to the alive worker with the shallowest queue.
+
+    Ties break on the lower EWMA latency (a worker that has been finishing
+    frames faster absorbs the next one), then on the lower worker index for
+    determinism.  Without a load view (standalone use) the policy degrades
+    to round-robin; with a load view but no alive worker it raises, exactly
+    like the server's own liveness check.
+    """
+
+    def route(
+        self,
+        job_index: int,
+        shard_key: Optional[int],
+        num_workers: int,
+        loads: Optional[Sequence[WorkerLoad]] = None,
+    ) -> int:
+        if not loads:
+            return job_index % num_workers
+        alive = [load for load in loads[:num_workers] if load.alive]
+        if not alive:
+            raise ReproError("least_loaded found no alive worker to route to")
+        best = min(
+            alive, key=lambda load: (load.queue_depth, load.ewma_latency_s, load.worker_id)
+        )
+        return best.worker_id

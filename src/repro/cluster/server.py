@@ -12,31 +12,40 @@ engine/backend pair (any registered pair: ``reference``, ``vectorized``,
 Semantics mirror the thread server deliberately:
 
 * **back-pressure** — at most ``max_in_flight`` frames are in flight; a
-  submit beyond that blocks the producer instead of queueing unbounded
-  pixels (the ring slot pool is the bound);
+  submit beyond that blocks the producer on a condition variable (woken
+  the instant a completion frees the window) instead of queueing unbounded
+  pixels;
 * **in-order results** — :meth:`ClusterServer.extract_many` returns results
   in submission order regardless of worker completion order;
 * **identical output** — every worker builds its engine from the same
   :class:`~repro.config.ExtractorConfig`, extraction is a pure per-frame
-  function, and the shared-memory round trip is byte-exact, so results are
-  bit-identical to sequential extraction (``tests/test_cluster.py``);
+  function, and both transports are byte-exact, so results are
+  bit-identical to sequential extraction (``tests/test_cluster.py``) no
+  matter which worker ends up running a frame;
 * **clean lifecycle** — context manager, graceful drain on close, and
   crashed-worker detection that fails the affected submissions with a
   :class:`~repro.errors.ReproError` instead of hanging the producer.
 
 Placement is delegated to a :class:`~repro.cluster.router.ShardPolicy`
-(``round_robin`` or ``by_sequence``); per-worker and aggregate counters
-live in :class:`ClusterStats`, comparable field-for-field with the thread
-server's :class:`~repro.serving.ServingStats`.
+(``round_robin``, ``by_sequence`` or the load-aware ``least_loaded``,
+which reads a live per-worker :class:`~repro.cluster.router.WorkerLoad`
+view — queue depth + EWMA latency — snapshotted from :class:`ClusterStats`
+at routing time).  A **dispatcher thread** hands each worker at most
+:data:`DISPATCH_DEPTH` jobs at a time and keeps the rest in per-worker
+backlogs; with ``work_stealing=True`` an idle worker drains a saturated
+worker's backlog.  Stealing moves *where* a job runs, never *what* it
+computes: the job's future, cache key and pixels are untouched, so results
+stay bit-identical and in submission order.
 
-Two transport optimisations ride on top: workers batch small per-frame
-results into one queue put while saturated (flushing whenever their job
-queue runs dry, so idle latency is unchanged), and — when the
-configuration selects the ``shared`` pyramid provider — the producer
-publishes each frame's pyramid once into a
-:class:`~repro.pyramid.SharedPyramidCache` that workers attach to
-zero-copy by job id, retiring the slot when the result is collected
-(``docs/pyramid.md``).
+Frame transport is chosen per frame: when the configuration selects the
+``shared`` pyramid provider, the producer publishes the frame's whole
+pyramid (level 0 included) into a
+:class:`~repro.pyramid.SharedPyramidCache`, pins the slot, and hands the
+worker only the job id — the **zero-copy fast path**; the ring write is
+skipped entirely and only happens as a fallback when the publish fails
+(cache full).  Per-worker and aggregate counters, including steal and
+publish-fallback counts and bytes copied through the ring, live in
+:class:`ClusterStats`.
 """
 
 from __future__ import annotations
@@ -56,12 +65,28 @@ from ..image import GrayImage
 from ..pyramid import SharedPyramidCache
 from ..serving.frame_server import LATENCY_WINDOW, percentile_ms
 from .context import get_mp_context
-from .router import ShardPolicy, create_policy
+from .router import ShardPolicy, WorkerLoad, create_policy
 from .shared_ring import SharedFrameRing
 from .worker import SHUTDOWN, worker_main
 
 #: How often the collector wakes to check worker health (seconds).
 _HEALTH_POLL_S = 0.05
+
+#: Jobs handed to one worker's queue at a time.  Everything beyond this
+#: stays in the server-side backlog where the dispatcher can still steal
+#: it for an idle worker; small enough that stealing has material work to
+#: move, large enough that a worker is never starved between refills.
+DISPATCH_DEPTH = 2
+
+#: Weight of the newest sample in the per-worker EWMA latency feeding the
+#: ``least_loaded`` load view.
+_EWMA_ALPHA = 0.2
+
+#: Safety net on ring acquisition.  Admission control guarantees a free
+#: slot exists whenever the ring is used (in-flight frames never exceed the
+#: slot count), so hitting this timeout indicates a leaked slot, not
+#: back-pressure.
+_RING_ACQUIRE_TIMEOUT_S = 5.0
 
 
 @dataclass
@@ -72,6 +97,8 @@ class WorkerStats:
     frames_completed: int = 0
     frames_failed: int = 0
     queue_depth: int = 0
+    steals: int = 0
+    ewma_latency_s: float = 0.0
     alive: bool = True
     # bounded recent-latency window (see serving.frame_server.LATENCY_WINDOW)
     latencies_s: "deque[float]" = field(
@@ -94,6 +121,8 @@ class WorkerStats:
             "frames_completed": self.frames_completed,
             "frames_failed": self.frames_failed,
             "queue_depth": self.queue_depth,
+            "steals": self.steals,
+            "ewma_latency_ms": 1000.0 * self.ewma_latency_s,
             "alive": self.alive,
             "latency_p50_ms": self.latency_p50_ms,
             "latency_p95_ms": self.latency_p95_ms,
@@ -106,12 +135,23 @@ class ClusterStats:
 
     Field names match :class:`repro.serving.ServingStats` where the concept
     matches, so thread-server and cluster reports line up column for column.
+    On top of those, the routing/transport counters make the fast paths
+    observable: ``steals`` (jobs moved off a saturated worker's backlog),
+    ``frames_zero_copy`` / ``frames_via_ring`` (which transport carried
+    each frame), ``ring_bytes_copied`` (producer-side memcpy volume; zero
+    for zero-copy frames) and ``publish_fallbacks`` (shared-pyramid
+    publishes that failed and fell back to the ring).
     """
 
     frames_submitted: int = 0
     frames_completed: int = 0
     frames_failed: int = 0
     max_in_flight: int = 0
+    steals: int = 0
+    publish_fallbacks: int = 0
+    frames_zero_copy: int = 0
+    frames_via_ring: int = 0
+    ring_bytes_copied: int = 0
     workers: List[WorkerStats] = field(default_factory=list)
     _in_flight: int = 0
     _first_submit_s: Optional[float] = None
@@ -137,6 +177,13 @@ class ClusterStats:
             worker.frames_completed += 1
             worker.queue_depth -= 1
             worker.latencies_s.append(latency_s)
+            if worker.frames_completed == 1:
+                worker.ewma_latency_s = latency_s
+            else:
+                worker.ewma_latency_s = (
+                    (1.0 - _EWMA_ALPHA) * worker.ewma_latency_s
+                    + _EWMA_ALPHA * latency_s
+                )
 
     def _failed(self, worker_id: int) -> None:
         with self._lock:
@@ -148,11 +195,30 @@ class ClusterStats:
             worker.queue_depth -= 1
 
     def _abandoned(self, worker_id: int) -> None:
-        """Undo a submission whose queue hand-off failed (never extracted)."""
+        """Undo a submission whose hand-off failed (never extracted)."""
         with self._lock:
             self.frames_submitted -= 1
             self._in_flight -= 1
             self.workers[worker_id].queue_depth -= 1
+
+    def _stolen(self, victim_id: int, thief_id: int) -> None:
+        """Move one queued job's accounting from ``victim`` to ``thief``."""
+        with self._lock:
+            self.steals += 1
+            self.workers[thief_id].steals += 1
+            self.workers[victim_id].queue_depth -= 1
+            self.workers[thief_id].queue_depth += 1
+
+    def _transport(self, zero_copy: bool, bytes_copied: int, fallback: bool) -> None:
+        """Record which transport carried one frame and its copy volume."""
+        with self._lock:
+            if zero_copy:
+                self.frames_zero_copy += 1
+            else:
+                self.frames_via_ring += 1
+                self.ring_bytes_copied += bytes_copied
+            if fallback:
+                self.publish_fallbacks += 1
 
     # -- derived metrics ---------------------------------------------------
     @property
@@ -183,6 +249,19 @@ class ClusterStats:
             return 0.0
         return self.frames_completed / elapsed
 
+    def load_view(self) -> List[WorkerLoad]:
+        """Per-worker load snapshot fed to load-aware shard policies."""
+        with self._lock:
+            return [
+                WorkerLoad(
+                    worker_id=worker.worker_id,
+                    queue_depth=worker.queue_depth,
+                    ewma_latency_s=worker.ewma_latency_s,
+                    alive=worker.alive,
+                )
+                for worker in self.workers
+            ]
+
     def _all_latencies(self) -> List[float]:
         with self._lock:
             return [value for worker in self.workers for value in worker.latencies_s]
@@ -197,6 +276,11 @@ class ClusterStats:
             "frames_failed": self.frames_failed,
             "max_in_flight": self.max_in_flight,
             "queue_depth": self.queue_depth,
+            "steals": self.steals,
+            "publish_fallbacks": self.publish_fallbacks,
+            "frames_zero_copy": self.frames_zero_copy,
+            "frames_via_ring": self.frames_via_ring,
+            "ring_bytes_copied": self.ring_bytes_copied,
             "latency_p50_ms": self.latency_p50_ms,
             "latency_p95_ms": self.latency_p95_ms,
             "elapsed_s": self.elapsed_s,
@@ -208,8 +292,10 @@ class ClusterStats:
 @dataclass
 class _PendingJob:
     future: "Future[ExtractionResult]"
-    worker_id: int
-    slot: int
+    worker_id: int  # current owner: backlog shard, or executor once dispatched
+    slot: Optional[int]  # ring slot (None on the zero-copy fast path)
+    key: int  # pyramid-cache key (frame id, or job id when none supplied)
+    pin_slot: Optional[int]  # producer pin on the cached pyramid slot
 
 
 class _SequenceShard:
@@ -233,8 +319,10 @@ class _SequenceShard:
     def max_in_flight(self) -> int:
         return self._server.max_in_flight
 
-    def submit(self, image: GrayImage) -> "Future[ExtractionResult]":
-        return self._server.submit(image, shard_key=self.shard_key)
+    def submit(
+        self, image: GrayImage, frame_id: Optional[int] = None
+    ) -> "Future[ExtractionResult]":
+        return self._server.submit(image, shard_key=self.shard_key, frame_id=frame_id)
 
 
 class ClusterServer:
@@ -250,14 +338,21 @@ class ClusterServer:
     num_workers:
         Worker process count (shards).
     policy:
-        Shard policy name (``"round_robin"`` or ``"by_sequence"``) or a
-        :class:`~repro.cluster.router.ShardPolicy` instance.
+        Shard policy name (``"round_robin"``, ``"by_sequence"`` or
+        ``"least_loaded"``) or a :class:`~repro.cluster.router.ShardPolicy`
+        instance.
     max_in_flight:
         Back-pressure bound across the whole cluster; defaults to
         ``2 * num_workers`` like the thread server.
     start_method:
         ``multiprocessing`` start method; defaults to ``fork`` where
         available (fast spin-up), else ``spawn``.
+    work_stealing:
+        When True, an idle worker (own backlog empty, dispatch window
+        open) is handed the oldest backlog job of a saturated worker.
+        Results stay bit-identical and in submission order — stealing
+        only relocates execution — but it deliberately overrides
+        ``by_sequence`` affinity under load imbalance, so it is opt-in.
     """
 
     def __init__(
@@ -267,6 +362,7 @@ class ClusterServer:
         policy: str | ShardPolicy = "round_robin",
         max_in_flight: Optional[int] = None,
         start_method: Optional[str] = None,
+        work_stealing: bool = False,
     ) -> None:
         if num_workers <= 0:
             raise ReproError("num_workers must be positive")
@@ -276,12 +372,14 @@ class ClusterServer:
         if self.max_in_flight < num_workers:
             raise ReproError("max_in_flight must be >= num_workers")
         self.policy = policy if isinstance(policy, ShardPolicy) else create_policy(policy)
+        self.work_stealing = bool(work_stealing)
         context = get_mp_context(start_method)
         slot_bytes = self.config.image_height * self.config.image_width
         self._ring = SharedFrameRing(self.max_in_flight, slot_bytes)
         # shared pyramid provider: the producer builds each frame's pyramid
-        # once into a shared-memory cache; workers attach zero-copy by job
-        # id instead of rebuilding it per extraction (docs/pyramid.md)
+        # once into a shared-memory cache and pins the slot; workers attach
+        # zero-copy by cache key and the ring is only the publish-failure
+        # fallback (docs/pyramid.md)
         self._pyramid_cache = (
             SharedPyramidCache.create(
                 self.config, num_slots=self.max_in_flight, context=context
@@ -299,10 +397,23 @@ class ClusterServer:
         self._job_queues = [context.Queue() for _ in range(num_workers)]
         self._processes = []
         self._pending: Dict[int, _PendingJob] = {}
+        self._key_pending: Dict[int, int] = {}  # cache key -> in-flight jobs
         self._lock = threading.Lock()
         self._next_job_id = 0
         self._closed = False
         self._draining = False
+        # admission window: one condition variable is the whole back-pressure
+        # story — completions notify it, so a blocked submit wakes in
+        # microseconds instead of a poll tick; worker-death and close also
+        # notify so stuck producers surface a ReproError immediately
+        self._admission = threading.Condition()
+        self._admitted = 0
+        # dispatcher state: per-worker backlogs held server-side, at most
+        # DISPATCH_DEPTH jobs resident in a worker's own queue at a time
+        self._dispatch_cv = threading.Condition()
+        self._backlogs: List[deque] = [deque() for _ in range(num_workers)]
+        self._dispatched = [0] * num_workers
+        self._dispatcher_stop = False
         try:
             for worker_id in range(num_workers):
                 process = context.Process(
@@ -336,6 +447,10 @@ class ClusterServer:
             if self._pyramid_cache is not None:
                 self._pyramid_cache.close()
             raise
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="cluster-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
         self._collector = threading.Thread(
             target=self._collect_results, name="cluster-collector", daemon=True
         )
@@ -353,41 +468,82 @@ class ClusterServer:
 
     def pyramid_cache_stats(self) -> Optional[Dict[str, object]]:
         """Aggregate shared-pyramid-cache counters (``None`` unless the
-        configuration selects the ``shared`` pyramid provider)."""
+        configuration selects the ``shared`` pyramid provider).  The cache's
+        own hit/miss/publish counters are joined with the server-side fast
+        path counters, so one report tells the whole zero-copy story."""
         if self._pyramid_cache is None:
             return None
-        return self._pyramid_cache.stats()
+        report = self._pyramid_cache.stats()
+        report["publish_fallbacks"] = self.stats.publish_fallbacks
+        report["zero_copy_frames"] = self.stats.frames_zero_copy
+        report["ring_fallback_frames"] = self.stats.frames_via_ring
+        return report
 
     # -- serving -----------------------------------------------------------
     def submit(
-        self, image: GrayImage, shard_key: Optional[int] = None
+        self,
+        image: GrayImage,
+        shard_key: Optional[int] = None,
+        frame_id: Optional[int] = None,
     ) -> "Future[ExtractionResult]":
         """Queue one frame; blocks while ``max_in_flight`` frames are pending.
 
         Returns a future resolving to the same
         :class:`~repro.features.ExtractionResult` sequential extraction
-        would produce.  Raises :class:`~repro.errors.ReproError` when the
-        server is closed, the routed worker has died, or every worker has
-        died while waiting for a free slot.
+        would produce.  ``frame_id`` keys pyramid reuse: submissions of the
+        same frame under the same id (multi-engine comparisons, replays)
+        share one published pyramid instead of building per submission.
+        Raises :class:`~repro.errors.ReproError` when the server is closed,
+        the routed worker has died, or every worker has died while waiting
+        for an admission slot.
         """
         if self._closed:
             raise ReproError("ClusterServer is closed")
+        if frame_id is not None and frame_id < 0:
+            raise ReproError("frame ids must be non-negative")
         with self._lock:
             job_id = self._next_job_id
             self._next_job_id += 1
-        worker_id = self.policy.route(job_id, shard_key, self.num_workers)
-        if not self.stats.workers[worker_id].alive:
-            raise ReproError(
-                f"cluster worker {worker_id} has died; frame cannot be served"
-            )
-        slot = self._acquire_slot()
-        future: "Future[ExtractionResult]" = Future()
+        key = int(frame_id) if frame_id is not None else job_id
+        self._acquire_admission()
+        slot: Optional[int] = None
+        pin_slot: Optional[int] = None
+        registered = False
+        worker_id = 0
         try:
-            height, width = self._ring.write(slot, image.pixels)
+            worker_id = self.policy.route(
+                job_id, shard_key, self.num_workers, loads=self.stats.load_view()
+            )
+            if not 0 <= worker_id < self.num_workers:
+                raise ReproError(
+                    f"shard policy routed to worker {worker_id}, outside "
+                    f"[0, {self.num_workers})"
+                )
+            if not self.stats.workers[worker_id].alive:
+                raise ReproError(
+                    f"cluster worker {worker_id} has died; frame cannot be served"
+                )
+            future: "Future[ExtractionResult]" = Future()
+            zero_copy = fallback = False
             if self._pyramid_cache is not None:
-                # best effort: a failed publish (all slots leased) just means
-                # the routed worker builds the pyramid locally on its miss
-                self._pyramid_cache.publish(job_id, image.pixels)
+                # zero-copy fast path: publish the whole pyramid (level 0
+                # included) and pin the slot so it can neither be evicted
+                # nor reclaimed before the worker attaches; on success the
+                # ring write is skipped entirely
+                if self._pyramid_cache.publish(key, image.pixels):
+                    pin_slot = self._pyramid_cache.pin(key)
+                zero_copy = pin_slot is not None
+                fallback = not zero_copy
+            if zero_copy:
+                height, width = image.pixels.shape
+            else:
+                slot = self._ring.acquire(timeout=_RING_ACQUIRE_TIMEOUT_S)
+                if slot is None:
+                    raise ReproError(
+                        "no free frame ring slot inside the admission window "
+                        "(slot leak?)"
+                    )
+                height, width = self._ring.write(slot, image.pixels)
             with self._lock:
                 # re-check under the crash handler's lock: a worker marked
                 # dead after the early check above must not receive a job
@@ -397,53 +553,163 @@ class ClusterServer:
                     raise ReproError(
                         f"cluster worker {worker_id} has died; frame cannot be served"
                     )
-                self._pending[job_id] = _PendingJob(future, worker_id, slot)
+                self._pending[job_id] = _PendingJob(
+                    future, worker_id, slot, key, pin_slot
+                )
+                self._key_pending[key] = self._key_pending.get(key, 0) + 1
+                registered = True
             self.stats._submitted(worker_id)
-            try:
-                self._job_queues[worker_id].put((job_id, slot, height, width))
-            except BaseException:
-                self.stats._abandoned(worker_id)
-                raise
+            self.stats._transport(
+                zero_copy, 0 if zero_copy else height * width, fallback
+            )
+            with self._dispatch_cv:
+                self._backlogs[worker_id].append((job_id, key, slot, height, width))
+                self._dispatch_cv.notify_all()
+            return future
         except BaseException:
-            with self._lock:
-                self._pending.pop(job_id, None)
-            self._ring.release(slot)
-            if self._pyramid_cache is not None:
-                # the pyramid may already be published for a job that will
-                # never run; free its cache slot too
-                self._pyramid_cache.retire(job_id, force=True)
+            if registered:
+                with self._lock:
+                    job = self._pending.pop(job_id, None)
+                if job is not None:
+                    self.stats._abandoned(worker_id)
+                    self._release_job_resources(job, crashed=True)
+            else:
+                if slot is not None:
+                    self._ring.release(slot)
+                if pin_slot is not None:
+                    self._pyramid_cache.unpin(pin_slot)
+                if self._pyramid_cache is not None:
+                    with self._lock:
+                        key_in_use = self._key_pending.get(key, 0)
+                    if key_in_use == 0:
+                        # the pyramid may already be published for a job that
+                        # will never run; free its cache slot too
+                        self._pyramid_cache.retire(key, force=True)
+            self._release_admission()
             raise
-        return future
 
     def extract_many(
         self,
         images: Iterable[GrayImage],
         shard_keys: Optional[Sequence[int]] = None,
+        frame_ids: Optional[Sequence[int]] = None,
     ) -> List[ExtractionResult]:
         """Extract every image across the cluster; results in submission order.
 
         ``shard_keys`` optionally supplies one affinity key per image
-        (required by the ``by_sequence`` policy).  Submission interleaves
-        with completion through the bounded in-flight window, and the
-        returned list is reassembled in order regardless of which worker
-        finished first.
+        (required by the ``by_sequence`` policy); ``frame_ids`` optionally
+        supplies stable pyramid-cache keys.  Submission interleaves with
+        completion through the bounded in-flight window, and the returned
+        list is reassembled in order regardless of which worker finished
+        first.
         """
         futures = []
         for index, image in enumerate(images):
-            key = shard_keys[index] if shard_keys is not None else None
-            futures.append(self.submit(image, shard_key=key))
+            futures.append(
+                self.submit(
+                    image,
+                    shard_key=shard_keys[index] if shard_keys is not None else None,
+                    frame_id=frame_ids[index] if frame_ids is not None else None,
+                )
+            )
         return [future.result() for future in futures]
 
-    def _acquire_slot(self) -> int:
-        """Back-pressure point: wait for a ring slot, watching worker health."""
+    # -- admission (back-pressure) -----------------------------------------
+    def _acquire_admission(self) -> None:
+        """Block until the in-flight window has room, watching worker health.
+
+        Wake-ups are notifications (completion, worker death, close) — the
+        short wait timeout below is only a lost-wakeup safety net, not the
+        release latency.
+        """
+        with self._admission:
+            while True:
+                if self._closed:
+                    raise ReproError(
+                        "ClusterServer closed while waiting for an admission slot"
+                    )
+                if not any(worker.alive for worker in self.stats.workers):
+                    raise ReproError("every cluster worker has died; serving halted")
+                if self._admitted < self.max_in_flight:
+                    self._admitted += 1
+                    return
+                self._admission.wait(timeout=1.0)
+
+    def _release_admission(self) -> None:
+        with self._admission:
+            self._admitted -= 1
+            self._admission.notify()
+
+    # -- dispatch / work stealing ------------------------------------------
+    def _dispatch_loop(self) -> None:
+        """Move backlog jobs into worker queues, stealing for idle workers."""
         while True:
-            slot = self._ring.acquire(timeout=0.1)
-            if slot is not None:
-                return slot
-            if self._closed:
-                raise ReproError("ClusterServer closed while waiting for a frame slot")
-            if not any(worker.alive for worker in self.stats.workers):
-                raise ReproError("every cluster worker has died; serving halted")
+            with self._dispatch_cv:
+                assignment = None
+                while assignment is None:
+                    if self._dispatcher_stop:
+                        return
+                    assignment = self._next_assignment()
+                    if assignment is None:
+                        self._dispatch_cv.wait(timeout=0.2)
+                worker_id, message, victim_id = assignment
+                self._dispatched[worker_id] += 1
+            job_id = message[0]
+            if victim_id is not None:
+                with self._lock:
+                    job = self._pending.get(job_id)
+                    if job is not None:
+                        job.worker_id = worker_id
+                self.stats._stolen(victim_id, worker_id)
+            try:
+                self._job_queues[worker_id].put(message)
+            except BaseException:
+                self._dispatch_failed(worker_id, job_id)
+
+    def _next_assignment(self):
+        """One (worker, job, stolen-from) triple, or None.  Caller holds CV.
+
+        A worker with an open dispatch window takes its own backlog first;
+        with ``work_stealing`` it otherwise takes the oldest job from the
+        deepest backlog of a *saturated* worker (dispatch window full), so
+        stealing moves genuinely-waiting work and never races a victim that
+        would have dispatched the job itself in this same pass.
+        """
+        for worker_id in range(self.num_workers):
+            if not self.stats.workers[worker_id].alive:
+                continue
+            if self._dispatched[worker_id] >= DISPATCH_DEPTH:
+                continue
+            if self._backlogs[worker_id]:
+                return worker_id, self._backlogs[worker_id].popleft(), None
+            if not self.work_stealing:
+                continue
+            victim_id, victim_depth = None, 0
+            for other in range(self.num_workers):
+                if other == worker_id or not self.stats.workers[other].alive:
+                    continue
+                if self._dispatched[other] < DISPATCH_DEPTH:
+                    continue  # victim would drain its own backlog anyway
+                if len(self._backlogs[other]) > victim_depth:
+                    victim_id, victim_depth = other, len(self._backlogs[other])
+            if victim_id is not None:
+                return worker_id, self._backlogs[victim_id].popleft(), victim_id
+        return None
+
+    def _dispatch_failed(self, worker_id: int, job_id: int) -> None:
+        """Fail one job whose queue hand-off raised (torn-down queue)."""
+        with self._dispatch_cv:
+            self._dispatched[worker_id] = max(0, self._dispatched[worker_id] - 1)
+        with self._lock:
+            job = self._pending.pop(job_id, None)
+        if job is None:
+            return
+        self.stats._failed(job.worker_id)
+        self._release_job_resources(job, crashed=True)
+        self._release_admission()
+        job.future.set_exception(
+            ReproError(f"cluster worker {worker_id} queue rejected the frame")
+        )
 
     # -- result collection / worker health ---------------------------------
     def _collect_results(self) -> None:
@@ -458,40 +724,65 @@ class ClusterServer:
             except (EOFError, OSError):
                 return  # queue torn down during close
             worker_id, batch = message
+            with self._dispatch_cv:
+                # the executor finished len(batch) jobs: reopen its window
+                self._dispatched[worker_id] = max(
+                    0, self._dispatched[worker_id] - len(batch)
+                )
+                self._dispatch_cv.notify_all()
             for job_id, result, latency_s, error in batch:
                 with self._lock:
                     job = self._pending.pop(job_id, None)
                 if job is None:
                     continue  # already failed by crash handling
-                # account the completion BEFORE freeing the slot: a producer
-                # blocked on the slot pool must not see the window shrink
-                # before the in-flight counter does (else max_in_flight can
-                # overshoot)
+                # account the completion BEFORE freeing transport resources
+                # and the admission slot: a producer blocked on admission
+                # must not see the window shrink before the in-flight
+                # counter does (else max_in_flight can overshoot)
                 if error is None:
                     self.stats._completed(worker_id, latency_s)
-                    self._release_job_resources(job_id, job)
+                    self._release_job_resources(job)
+                    self._release_admission()
                     job.future.set_result(result)
                 else:
                     self.stats._failed(worker_id)
-                    self._release_job_resources(job_id, job)
+                    self._release_job_resources(job)
+                    self._release_admission()
                     job.future.set_exception(
                         ReproError(
                             f"cluster worker {worker_id} extraction failed: {error}"
                         )
                     )
 
-    def _release_job_resources(
-        self, job_id: int, job: _PendingJob, crashed: bool = False
-    ) -> None:
-        """Free a collected job's ring slot and retire its cached pyramid.
+    def _release_job_resources(self, job: _PendingJob, crashed: bool = False) -> None:
+        """Free a collected job's transport resources.
 
-        A collected result proves the worker is done with the shared pages;
-        ``crashed`` additionally voids the worker's cache lease, which can
-        never be released by the dead process.
+        A collected result proves the worker is done with the shared pages:
+        the ring slot (if the frame travelled by ring) returns to the pool,
+        the producer's pin on the cached pyramid is released, and the cache
+        entry is retired once no other in-flight job shares its key.
+        ``crashed`` additionally voids leases held by a dead process.
         """
-        self._ring.release(job.slot)
+        if job.slot is not None:
+            self._ring.release(job.slot)
         if self._pyramid_cache is not None:
-            self._pyramid_cache.retire(job_id, force=crashed)
+            if job.pin_slot is not None:
+                self._pyramid_cache.unpin(job.pin_slot)
+            with self._lock:
+                remaining = self._key_pending.get(job.key, 1) - 1
+                if remaining <= 0:
+                    self._key_pending.pop(job.key, None)
+                else:
+                    self._key_pending[job.key] = remaining
+            if remaining <= 0:
+                self._pyramid_cache.retire(job.key, force=crashed)
+        else:
+            with self._lock:
+                remaining = self._key_pending.get(job.key, 1) - 1
+                if remaining <= 0:
+                    self._key_pending.pop(job.key, None)
+                else:
+                    self._key_pending[job.key] = remaining
 
     def _check_worker_health(self) -> None:
         for worker_id, process in enumerate(self._processes):
@@ -502,8 +793,14 @@ class ClusterServer:
                 self._fail_worker(worker_id, process.exitcode)
 
     def _fail_worker(self, worker_id: int, exitcode: Optional[int]) -> None:
-        """Mark a worker dead and fail every submission routed to it."""
+        """Mark a worker dead and fail every submission it currently owns."""
         worker = self.stats.workers[worker_id]
+        with self._dispatch_cv:
+            # undispatched backlog jobs are owned by this worker and fail
+            # below via _pending; clearing keeps the dispatcher from handing
+            # them to a dead queue (or stealing already-failed work)
+            self._backlogs[worker_id].clear()
+            self._dispatched[worker_id] = 0
         with self._lock:
             if not worker.alive:
                 return
@@ -517,13 +814,18 @@ class ClusterServer:
                 del self._pending[job_id]
         for job_id, job in doomed:
             self.stats._failed(worker_id)
-            self._release_job_resources(job_id, job, crashed=True)
+            self._release_job_resources(job, crashed=True)
+            self._release_admission()
             job.future.set_exception(
                 ReproError(
                     f"cluster worker {worker_id} died (exit code {exitcode}) "
                     "with frames in flight"
                 )
             )
+        with self._admission:
+            self._admission.notify_all()  # blocked producers re-check liveness
+        with self._dispatch_cv:
+            self._dispatch_cv.notify_all()
 
     def kill_worker(self, worker_id: int) -> None:
         """Fault-injection hook: kill one worker and surface the failure.
@@ -546,12 +848,6 @@ class ClusterServer:
         if self._closed:
             return
         self._draining = True
-        for worker_id, worker in enumerate(self.stats.workers):
-            if worker.alive:
-                try:
-                    self._job_queues[worker_id].put(SHUTDOWN)
-                except (ValueError, OSError):
-                    pass
         deadline = time.perf_counter() + drain_timeout_s
         while time.perf_counter() < deadline:
             with self._lock:
@@ -561,13 +857,26 @@ class ClusterServer:
             if not any(worker.alive for worker in self.stats.workers):
                 break
             time.sleep(_HEALTH_POLL_S)
-        self._closed = True
+        with self._admission:
+            self._closed = True
+            self._admission.notify_all()  # blocked producers raise, not hang
+        with self._dispatch_cv:
+            self._dispatcher_stop = True
+            self._dispatch_cv.notify_all()
+        self._dispatcher.join(timeout=5.0)
+        for worker_id, worker in enumerate(self.stats.workers):
+            if worker.alive:
+                try:
+                    self._job_queues[worker_id].put(SHUTDOWN)
+                except (ValueError, OSError):
+                    pass
         with self._lock:
             leftovers = list(self._pending.items())
             self._pending.clear()
         for job_id, job in leftovers:
             self.stats._failed(job.worker_id)
-            self._release_job_resources(job_id, job, crashed=True)
+            self._release_job_resources(job, crashed=True)
+            self._release_admission()
             job.future.set_exception(
                 ReproError("ClusterServer closed before the frame was served")
             )

@@ -14,12 +14,20 @@ Slot lifecycle mirrors the hardware FIFO's back-pressure: ``acquire()``
 blocks while every slot is in flight, and a slot only returns to the free
 pool after the worker's result has been collected (the worker is guaranteed
 to have finished reading by then, because extraction results never
-reference the input pixels).
+reference the input pixels).  The free pool is guarded by a condition
+variable, so a producer parked on a full ring wakes the moment a slot is
+released (microseconds), not on the next poll tick.
+
+When the cluster's ``shared`` pyramid provider is active the ring is only
+the **fallback** transport: frames whose pyramid publish succeeds travel as
+a bare job id and the ring slot (and its memcpy) is skipped entirely — see
+``docs/pyramid.md`` for the zero-copy data flow.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from multiprocessing import shared_memory
 from typing import Optional, Tuple
@@ -53,8 +61,9 @@ class SharedFrameRing:
             create=True, size=num_slots * slot_bytes
         )
         self._free: deque[int] = deque(range(num_slots))
-        self._lock = threading.Lock()
-        self._available = threading.Semaphore(num_slots)
+        # one condition variable guards the free pool: release() notifies,
+        # so a blocked acquire() wakes immediately instead of polling
+        self._cv = threading.Condition()
         self._closed = False
 
     @property
@@ -64,23 +73,36 @@ class SharedFrameRing:
 
     # -- producer side ----------------------------------------------------
     def acquire(self, timeout: Optional[float] = None) -> Optional[int]:
-        """Reserve a free slot index; ``None`` on timeout (back-pressure)."""
-        if self._closed:
-            raise ReproError("shared frame ring is closed")
-        if not self._available.acquire(timeout=timeout):
-            return None
-        with self._lock:
-            return self._free.popleft()
+        """Reserve a free slot index; ``None`` on timeout (back-pressure).
+
+        Blocks on the condition variable until a slot is released (wake-up
+        latency is a notify, not a poll tick).  Raises when the ring is
+        closed — including while waiting, so producers blocked across a
+        teardown are released instead of timing out.
+        """
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        with self._cv:
+            while True:
+                if self._closed:
+                    raise ReproError("shared frame ring is closed")
+                if self._free:
+                    return self._free.popleft()
+                if deadline is None:
+                    self._cv.wait()
+                else:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0.0 or not self._cv.wait(remaining):
+                        return None
 
     def release(self, slot: int) -> None:
         """Return ``slot`` to the free pool once its frame is fully consumed."""
         if not 0 <= slot < self.num_slots:
             raise ReproError(f"slot {slot} outside ring of {self.num_slots} slots")
-        with self._lock:
+        with self._cv:
             if slot in self._free:
                 raise ReproError(f"slot {slot} released twice")
             self._free.append(slot)
-        self._available.release()
+            self._cv.notify()
 
     def write(self, slot: int, pixels: np.ndarray) -> Tuple[int, int]:
         """Copy ``pixels`` (2-D uint8) into ``slot``; returns ``(height, width)``.
@@ -107,15 +129,17 @@ class SharedFrameRing:
 
     def in_flight(self) -> int:
         """Number of slots currently reserved (for stats / queue depth)."""
-        with self._lock:
+        with self._cv:
             return self.num_slots - len(self._free)
 
     # -- lifecycle ---------------------------------------------------------
     def close(self) -> None:
         """Release the shared block (owner unlinks; workers just detach)."""
-        if self._closed:
-            return
-        self._closed = True
+        with self._cv:
+            if self._closed:
+                return
+            self._closed = True
+            self._cv.notify_all()  # waiters wake and raise instead of hanging
         try:
             self._shm.close()
         finally:

@@ -4,23 +4,27 @@ Each worker owns ONE engine/backend pair — exactly like one fixed-function
 extraction pipeline of the paper's accelerator — built inside the worker
 process from the pickled :class:`~repro.config.ExtractorConfig`, so engines
 in different workers share nothing and the GIL of one process never stalls
-another.  Frames arrive as ``(job_id, slot, height, width)`` control
-messages; pixels are read through a zero-copy view of the shared-memory
-ring (:mod:`repro.cluster.shared_ring`), and only the small extraction
-results (retained features + profile) travel back through the result queue.
+another.  Frames arrive as ``(job_id, key, slot, height, width)`` control
+messages; ``key`` is the frame's pyramid-cache key (the caller-supplied
+frame id, or the job id when none was given).
 
-Two cross-process optimisations live here:
+Two transports feed a worker, decided per frame by the producer:
 
-* **shared pyramid attachment** — when the server runs the ``shared``
-  pyramid provider it passes a :class:`~repro.pyramid.PyramidCacheHandle`;
-  the worker's extractor then attaches zero-copy to the pyramid the
-  producer already built for each job id and only rebuilds locally on a
-  cache miss (``docs/pyramid.md``);
-* **batched result transport** — results are buffered per worker and
-  flushed as ONE queue put when the batch fills or the job queue runs dry,
-  cutting pipe syscalls at high frame rates without delaying results while
-  the worker is idle.  Semantics and per-frame stats are unchanged; the
-  server iterates the batch.
+* **ring transport** (``slot`` is an index) — pixels are read through a
+  zero-copy view of the shared-memory ring
+  (:mod:`repro.cluster.shared_ring`); the only transport when the pyramid
+  provider is local, the fallback when a shared-cache publish fails;
+* **zero-copy fast path** (``slot`` is ``None``) — the producer already
+  published the frame's whole pyramid (level 0 included) into the
+  :class:`~repro.pyramid.SharedPyramidCache` and pinned it, so the worker
+  attaches the cached pyramid by ``key`` and extracts straight from the
+  shared pages — **no frame bytes were copied into the ring at all**
+  (``docs/pyramid.md``).
+
+Only the small extraction results (retained features + profile) travel back
+through the result queue, buffered per worker and flushed as ONE queue put
+when the batch fills or the job queue runs dry, cutting pipe syscalls at
+high frame rates without delaying results while the worker is idle.
 
 The function lives at module scope so both ``fork`` and ``spawn`` start
 methods can target it.
@@ -54,10 +58,10 @@ def worker_main(
 
     Result messages are ``(worker_id, batch)`` where ``batch`` is a list of
     ``(job_id, result, latency_s, error)`` entries (exactly one of
-    ``result`` / ``error`` set per entry).  The slot index is not echoed
-    back: the server tracks the slot per job and frees it when the result
-    (or failure) is collected, which guarantees the worker has finished
-    reading the shared pages before they are reused.
+    ``result`` / ``error`` set per entry).  Neither the ring slot nor the
+    cache pin is echoed back: the server tracks both per job and frees them
+    when the result (or failure) is collected, which guarantees the worker
+    has finished reading the shared pages before they are reused.
     """
     # Imports happen inside the worker so the ``spawn`` start method pays
     # them here rather than pickling live engine objects.
@@ -98,11 +102,28 @@ def worker_main(
             if message is SHUTDOWN:
                 flush()
                 break
-            job_id, slot, height, width = message
+            job_id, key, slot, height, width = message
             start = time.perf_counter()
             try:
-                pixels = attach_slot_view(shm, slot, slot_bytes, height, width)
-                result = extractor.extract(GrayImage(pixels), frame_id=job_id)
+                if slot is None:
+                    # zero-copy fast path: the pyramid (level 0 included)
+                    # already lives in the shared cache, pinned by the
+                    # producer, so attach by key instead of reading the ring
+                    cached = pyramid_cache.attach(key, expected_shape=(height, width))
+                    if cached is None:
+                        raise RuntimeError(
+                            f"zero-copy pyramid for frame key {key} missing "
+                            "from the shared cache"
+                        )
+                    try:
+                        result = extractor.extract(
+                            cached.level(0).image, frame_id=key, pyramid=cached
+                        )
+                    finally:
+                        cached.close()
+                else:
+                    pixels = attach_slot_view(shm, slot, slot_bytes, height, width)
+                    result = extractor.extract(GrayImage(pixels), frame_id=key)
                 latency = time.perf_counter() - start
                 pending.append((job_id, result, latency, None))
             except Exception as error:  # surface, don't kill the worker

@@ -192,15 +192,24 @@ class OrbExtractor:
 
     # -- public API -------------------------------------------------------
     def extract(
-        self, image: GrayImage, frame_id: int | None = None
+        self,
+        image: GrayImage,
+        frame_id: int | None = None,
+        pyramid: "ImagePyramid | None" = None,
     ) -> ExtractionResult:
         """Extract up to ``config.max_features`` ORB features from ``image``.
 
         ``frame_id`` keys cross-consumer pyramid reuse for the ``shared``
-        provider (cluster workers pass their job id); local providers
-        ignore it.
+        provider (cluster workers pass the frame's cache key); local
+        providers ignore it.  ``pyramid`` optionally supplies an
+        already-acquired pyramid over ``image`` — the cluster's zero-copy
+        fast path hands workers a cache attachment directly, so extraction
+        must not re-acquire (or release) one through the provider; the
+        caller keeps ownership of a supplied pyramid.
         """
-        pyramid = self.pyramid_provider.acquire(image, frame_id)
+        owned = pyramid is None
+        if owned:
+            pyramid = self.pyramid_provider.acquire(image, frame_id)
         try:
             profile = ExtractionProfile(
                 workflow="rescheduled" if self.config.rescheduled_workflow else "original"
@@ -213,7 +222,8 @@ class OrbExtractor:
             profile.features_retained = len(features)
             return ExtractionResult(features=features, profile=profile)
         finally:
-            self.pyramid_provider.release(pyramid)
+            if owned:
+                self.pyramid_provider.release(pyramid)
 
     def close(self) -> None:
         """Release provider-owned resources (a self-created shared pyramid cache)."""

@@ -303,6 +303,32 @@ class SharedPyramidCache:
         ]
         return CachedPyramid(self, slot, levels, self.pyramid_config)
 
+    def pin(self, frame_id: int) -> Optional[int]:
+        """Take a producer-side lease on ``frame_id`` without a consumer hit.
+
+        The cluster's zero-copy fast path pins each frame right after
+        publishing it, so the slot can be neither evicted by later
+        publishes nor reclaimed by a concurrent retire before the routed
+        worker attaches — the pixels only live in the cache once the ring
+        write is skipped.  Returns the pinned slot index (pass it to
+        :meth:`unpin`) or ``None`` when the frame is not cached/valid.
+        Unlike :meth:`attach`, a pin never touches the hit/miss counters:
+        it is a lifetime guarantee, not a consumer.
+        """
+        self._ensure_open()
+        with self._lock:
+            slot = self._find_slot(frame_id)
+            if slot is None or self._slot_field(slot, _S_STATE) != _VALID:
+                return None
+            self._slot_field_set(
+                slot, _S_REFCOUNT, self._slot_field(slot, _S_REFCOUNT) + 1
+            )
+            return slot
+
+    def unpin(self, slot: int) -> None:
+        """Return a lease taken with :meth:`pin`."""
+        self._release_slot(slot)
+
     def _release_slot(self, slot: int) -> None:
         if self._closed:
             return  # leases returned during teardown have nothing to update

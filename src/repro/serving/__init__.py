@@ -7,6 +7,18 @@ satisfy the :class:`FrameServing` protocol consumed by
 :meth:`repro.slam.SlamSystem.run`.  See ``docs/serving.md``.
 """
 
-from .frame_server import FrameServer, FrameServing, ServingStats, percentile_ms
+from .frame_server import (
+    FrameServer,
+    FrameServing,
+    ServingStats,
+    percentile_ms,
+    stable_frame_id,
+)
 
-__all__ = ["FrameServer", "FrameServing", "ServingStats", "percentile_ms"]
+__all__ = [
+    "FrameServer",
+    "FrameServing",
+    "ServingStats",
+    "percentile_ms",
+    "stable_frame_id",
+]

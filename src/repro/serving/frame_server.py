@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import threading
 import time
+import zlib
 from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -57,6 +58,26 @@ def percentile_ms(latencies_s: Iterable[float], q: float) -> float:
     return 1000.0 * float(np.percentile(values, q))
 
 
+def stable_frame_id(sequence_name: str, frame_index: int) -> int:
+    """Deterministic, collision-resistant frame id for pyramid-cache reuse.
+
+    Two runs over the same sequence — even in different processes or with
+    different engines — derive the same id for the same frame, so N-engine
+    comparisons against one shared pyramid cache attach to ONE cached
+    pyramid N times instead of building/publishing N.  The sequence name is
+    folded through CRC-32 into the high bits and the frame index occupies
+    the low 32 bits, keeping ids non-negative and inside the cache's int64
+    header fields while separating same-index frames of different
+    sequences.
+    """
+    if frame_index < 0:
+        raise ReproError("frame_index must be non-negative")
+    if frame_index >= 1 << 32:
+        raise ReproError("frame_index exceeds the 32-bit id field")
+    sequence_hash = zlib.crc32(sequence_name.encode("utf-8")) & 0x7FFFFFFF
+    return (sequence_hash << 32) | frame_index
+
+
 @runtime_checkable
 class FrameServing(Protocol):
     """What :meth:`repro.slam.SlamSystem.run` needs from a frame server.
@@ -73,7 +94,9 @@ class FrameServing(Protocol):
     @property
     def extractor_config(self) -> ExtractorConfig: ...
 
-    def submit(self, image: GrayImage) -> "Future[ExtractionResult]": ...
+    def submit(
+        self, image: GrayImage, frame_id: Optional[int] = None
+    ) -> "Future[ExtractionResult]": ...
 
 
 @dataclass

@@ -21,6 +21,7 @@ from ..config import SlamConfig
 from ..dataset import RgbdFrame, RgbdSequence
 from ..errors import ReproError
 from ..geometry import Pose
+from ..serving import stable_frame_id
 from .evaluation import AteResult, absolute_trajectory_error
 from .frame import Frame
 from .tracker import Tracker, TrackingResult
@@ -106,6 +107,7 @@ class SlamSystem:
         sequence: RgbdSequence,
         max_frames: Optional[int] = None,
         frame_server=None,
+        frame_ids: Optional[List[int]] = None,
     ) -> SlamRunResult:
         """Run the system over a whole sequence and collect results.
 
@@ -118,6 +120,12 @@ class SlamSystem:
         tracking consumes the results in order.  Tracking output is
         identical to the sequential path because extraction is a pure
         per-frame function.
+
+        ``frame_ids`` overrides the pyramid-cache key submitted per frame;
+        by default each frame gets :func:`repro.serving.stable_frame_id`
+        of ``(sequence.name, frame.index)``, so N systems replaying the
+        same sequence against one shared pyramid cache attach to one
+        cached pyramid N times instead of building N.
         """
         result = SlamRunResult(sequence_name=sequence.name)
         frames = [
@@ -130,6 +138,14 @@ class SlamSystem:
                 "frame server extractor configuration does not match the "
                 "SLAM extractor configuration"
             )
+        if frame_server is not None:
+            if frame_ids is None:
+                frame_ids = [
+                    stable_frame_id(sequence.name, rgbd_frame.index)
+                    for rgbd_frame in frames
+                ]
+            elif len(frame_ids) != len(frames):
+                raise ReproError("frame_ids must supply one id per served frame")
         # keep at most the server's in-flight window of frames submitted
         # ahead of the tracker, so extraction overlaps tracking while only a
         # bounded number of ExtractionResults is ever resident
@@ -140,7 +156,12 @@ class SlamSystem:
             if frame_server is not None:
                 window = frame_server.max_in_flight
                 while next_to_submit < len(frames) and next_to_submit <= index + window - 1:
-                    pending.append(frame_server.submit(frames[next_to_submit].image))
+                    pending.append(
+                        frame_server.submit(
+                            frames[next_to_submit].image,
+                            frame_id=frame_ids[next_to_submit],
+                        )
+                    )
                     next_to_submit += 1
                 extraction = pending.popleft().result()
             tracking = self.process_frame(rgbd_frame, sequence.camera, extraction=extraction)

@@ -7,17 +7,26 @@ and both shard policies; the remaining classes pin down the transport,
 back-pressure, crash surfacing and the SLAM / batch-runner wiring.
 """
 
+import time
+
 import numpy as np
 import pytest
 
 from repro.analysis import BatchRunner
-from repro.cluster import ClusterServer, SharedFrameRing, available_policies
+from repro.cluster import (
+    ClusterServer,
+    LeastLoadedPolicy,
+    SharedFrameRing,
+    WorkerLoad,
+    available_policies,
+    create_policy,
+)
 from repro.config import ExtractorConfig, PyramidConfig, SlamConfig, TrackerConfig
 from repro.dataset import SequenceSpec, make_sequence
 from repro.errors import ReproError
 from repro.features import OrbExtractor
 from repro.image import GrayImage, random_blocks
-from repro.serving import FrameServer, FrameServing
+from repro.serving import FrameServer, FrameServing, stable_frame_id
 from repro.slam import SlamSystem
 
 
@@ -315,3 +324,270 @@ class TestMultiprocessBatchRunner:
         bad = [SequenceSpec(name="fr1/xyz", num_frames=2, image_width=64, image_height=64)]
         with pytest.raises(ReproError):
             runner.run_all_multiprocess(bad, num_workers=1)
+
+
+class TestConditionVariableBackPressure:
+    """The ring's free pool is a condition variable, not a poll loop."""
+
+    def test_blocked_acquire_wakes_on_release(self):
+        import threading
+
+        with SharedFrameRing(num_slots=1, slot_bytes=16) as ring:
+            slot = ring.acquire()
+            woken = []
+            waiter = threading.Thread(
+                target=lambda: woken.append(ring.acquire(timeout=5.0))
+            )
+            waiter.start()
+            time.sleep(0.05)  # let the waiter park on the condition variable
+            ring.release(slot)
+            waiter.join(timeout=1.0)  # a notify wake, not a poll tick
+            assert not waiter.is_alive()
+            assert woken == [slot]
+
+    def test_blocked_acquire_raises_on_close(self):
+        import threading
+
+        ring = SharedFrameRing(num_slots=1, slot_bytes=16)
+        ring.acquire()
+        errors = []
+
+        def wait_for_slot():
+            try:
+                ring.acquire(timeout=5.0)
+            except ReproError as error:
+                errors.append(error)
+
+        waiter = threading.Thread(target=wait_for_slot)
+        waiter.start()
+        time.sleep(0.05)
+        ring.close()  # waiters must be released immediately, not time out
+        waiter.join(timeout=1.0)
+        assert not waiter.is_alive()
+        assert len(errors) == 1
+
+
+def _make_loads(*specs):
+    """WorkerLoad list from (queue_depth, ewma_latency_s, alive) triples."""
+    return [
+        WorkerLoad(worker_id=index, queue_depth=depth, ewma_latency_s=ewma, alive=alive)
+        for index, (depth, ewma, alive) in enumerate(specs)
+    ]
+
+
+class TestLeastLoadedPolicy:
+    def test_registered_in_policy_registry(self):
+        assert "least_loaded" in available_policies()
+        assert isinstance(create_policy("least_loaded"), LeastLoadedPolicy)
+
+    def test_picks_shallowest_queue(self):
+        policy = LeastLoadedPolicy()
+        loads = _make_loads((5, 0.01, True), (1, 0.01, True), (3, 0.01, True))
+        assert policy.route(0, None, 3, loads=loads) == 1
+
+    def test_routes_around_stalled_worker(self):
+        # a stalled worker keeps its backlog (deep queue, climbing EWMA);
+        # the policy must send new frames to the responsive one
+        policy = LeastLoadedPolicy()
+        loads = _make_loads((6, 2.5, True), (0, 0.01, True))
+        assert policy.route(0, None, 2, loads=loads) == 1
+
+    def test_skips_dead_workers(self):
+        policy = LeastLoadedPolicy()
+        loads = _make_loads((0, 0.0, False), (4, 0.1, True))
+        assert policy.route(0, None, 2, loads=loads) == 1
+
+    def test_tie_breaks_by_latency_then_worker_id(self):
+        policy = LeastLoadedPolicy()
+        by_latency = _make_loads((2, 0.5, True), (2, 0.1, True))
+        assert policy.route(0, None, 2, loads=by_latency) == 1
+        by_id = _make_loads((2, 0.1, True), (2, 0.1, True))
+        assert policy.route(0, None, 2, loads=by_id) == 0
+
+    def test_no_load_view_falls_back_to_round_robin(self):
+        policy = LeastLoadedPolicy()
+        assert policy.route(7, None, 3, loads=None) == 1
+
+    def test_no_alive_worker_raises(self):
+        policy = LeastLoadedPolicy()
+        with pytest.raises(ReproError):
+            policy.route(0, None, 2, loads=_make_loads((0, 0.0, False), (0, 0.0, False)))
+
+    def test_server_routes_around_killed_worker(self, cluster_config, cluster_images):
+        with ClusterServer(cluster_config, num_workers=2, policy="least_loaded") as server:
+            server.kill_worker(0)
+            served = server.extract_many(cluster_images)
+            counts = [worker.frames_completed for worker in server.stats.workers]
+        assert len(served) == len(cluster_images)
+        assert counts[0] == 0 and counts[1] == len(cluster_images)
+
+
+class TestWorkStealing:
+    @pytest.mark.parametrize("engine", ["reference", "vectorized", "hwexact"])
+    def test_stealing_bit_exact_across_engines(
+        self, engine, cluster_config, cluster_images
+    ):
+        """Stealing moves where a job runs, never what it computes."""
+        from dataclasses import replace
+
+        config = replace(cluster_config, frontend=engine, backend=engine)
+        extractor = OrbExtractor(config)
+        sequential = [extractor.extract(image) for image in cluster_images] * 3
+        images = cluster_images * 3
+        # by_sequence pins every frame to one worker: without stealing the
+        # other worker would idle while a backlog builds
+        shard_keys = [1] * len(images)
+        with ClusterServer(
+            config,
+            num_workers=2,
+            policy="by_sequence",
+            max_in_flight=8,
+            work_stealing=True,
+        ) as server:
+            served = server.extract_many(images, shard_keys=shard_keys)
+            steals = server.stats.steals
+            counts = [worker.frames_completed for worker in server.stats.workers]
+        assert steals > 0
+        assert min(counts) > 0  # the idle worker drained the hot backlog
+        assert sum(counts) == len(images)
+        for seq_result, cluster_result in zip(sequential, served):
+            assert _feature_key(seq_result) == _feature_key(cluster_result)
+            assert vars(seq_result.profile) == vars(cluster_result.profile)
+
+    def test_stealing_off_by_default_preserves_affinity(
+        self, cluster_config, cluster_images
+    ):
+        with ClusterServer(cluster_config, num_workers=2, policy="by_sequence") as server:
+            shard_key = 0
+            target = server.policy.route(0, shard_key, 2)
+            server.extract_many(cluster_images, shard_keys=[shard_key] * len(cluster_images))
+            counts = [worker.frames_completed for worker in server.stats.workers]
+            steals = server.stats.steals
+        assert steals == 0
+        assert counts[target] == len(cluster_images)
+        assert counts[1 - target] == 0
+
+    def test_steal_counters_in_stats_dict(self, cluster_config, cluster_images):
+        with ClusterServer(
+            cluster_config, num_workers=2, work_stealing=True, max_in_flight=8
+        ) as server:
+            server.extract_many(cluster_images * 2)
+            stats = server.stats.as_dict()
+        assert "steals" in stats
+        assert stats["steals"] == sum(worker["steals"] for worker in stats["workers"])
+        for worker in stats["workers"]:
+            assert "ewma_latency_ms" in worker and worker["ewma_latency_ms"] > 0.0
+
+
+class TestZeroCopyFastPath:
+    @pytest.fixture(scope="class")
+    def shared_config(self, cluster_config):
+        from dataclasses import replace
+
+        return replace(
+            cluster_config, pyramid=PyramidConfig(num_levels=2, provider="shared")
+        )
+
+    def test_zero_copy_skips_ring_entirely(
+        self, shared_config, cluster_config, cluster_images
+    ):
+        extractor = OrbExtractor(cluster_config)
+        sequential = [extractor.extract(image) for image in cluster_images]
+        with ClusterServer(shared_config, num_workers=2) as server:
+            served = server.extract_many(cluster_images)
+            stats = server.stats.as_dict()
+            cache_stats = server.pyramid_cache_stats()
+        assert stats["frames_zero_copy"] == len(cluster_images)
+        assert stats["frames_via_ring"] == 0
+        assert stats["ring_bytes_copied"] == 0  # no frame bytes copied at all
+        assert stats["publish_fallbacks"] == 0
+        assert cache_stats["zero_copy_frames"] == len(cluster_images)
+        assert cache_stats["local_builds"] == 0
+        for seq_result, cluster_result in zip(sequential, served):
+            assert _feature_key(seq_result) == _feature_key(cluster_result)
+
+    def test_falls_back_to_ring_when_cache_full(self, shared_config, cluster_images):
+        with ClusterServer(shared_config, num_workers=1, max_in_flight=2) as server:
+            cache = server._pyramid_cache
+            # lease every cache slot so publish cannot find a free or
+            # evictable slot: the zero-copy path must fall back to the ring
+            pixels = cluster_images[0].pixels
+            leases = []
+            for filler_key in (900001, 900002):
+                assert cache.publish(filler_key, pixels)
+                leases.append(cache.attach(filler_key))
+            try:
+                result = server.submit(cluster_images[1]).result()
+                stats = server.stats.as_dict()
+                cache_stats = server.pyramid_cache_stats()
+            finally:
+                for lease in leases:
+                    lease.close()
+        assert stats["frames_zero_copy"] == 0
+        assert stats["frames_via_ring"] == 1
+        assert stats["publish_fallbacks"] == 1
+        assert stats["ring_bytes_copied"] == pixels.size
+        assert cache_stats["ring_fallback_frames"] == 1
+        assert len(result.features) > 0
+
+    def test_repeated_frame_id_publishes_once(self, shared_config, cluster_images):
+        with ClusterServer(shared_config, num_workers=2, max_in_flight=4) as server:
+            futures = [
+                server.submit(cluster_images[0], frame_id=7777) for _ in range(4)
+            ]
+            results = [future.result() for future in futures]
+            cache_stats = server.pyramid_cache_stats()
+        assert cache_stats["publishes"] == 1  # one build serves all four
+        assert cache_stats["hits"] == 4
+        assert cache_stats["zero_copy_frames"] == 4
+        first_key = _feature_key(results[0])
+        assert all(_feature_key(result) == first_key for result in results[1:])
+
+    def test_negative_frame_id_rejected(self, cluster_config, cluster_images):
+        with ClusterServer(cluster_config, num_workers=1) as server:
+            with pytest.raises(ReproError):
+                server.submit(cluster_images[0], frame_id=-1)
+
+
+class TestStableFrameIds:
+    def test_stable_and_collision_resistant(self):
+        base = stable_frame_id("fr1/xyz", 3)
+        assert base == stable_frame_id("fr1/xyz", 3)  # deterministic
+        assert base >= 0
+        assert stable_frame_id("fr1/xyz", 4) == base + 1  # index in low bits
+        assert stable_frame_id("fr1/desk", 3) != base  # sequences separated
+        with pytest.raises(ReproError):
+            stable_frame_id("fr1/xyz", -1)
+
+    def test_n_engine_comparison_builds_each_pyramid_once(self, cluster_config):
+        """Two engines over one sequence attach to ONE cached pyramid each
+        frame (stable ids), instead of building per engine."""
+        from dataclasses import replace
+
+        from repro.pyramid import SharedPyramidCache
+
+        num_frames = 3
+        shared_cfg = replace(
+            cluster_config, pyramid=PyramidConfig(num_levels=2, provider="shared")
+        )
+        spec = SequenceSpec(
+            name="fr1/xyz", num_frames=num_frames, image_width=160, image_height=120
+        )
+        cache = SharedPyramidCache.create(shared_cfg, num_slots=num_frames + 1)
+        try:
+            records = []
+            for engine in ("reference", "vectorized"):
+                config = SlamConfig(
+                    extractor=replace(shared_cfg, frontend=engine, backend=engine),
+                    tracker=TrackerConfig(ransac_iterations=32, pose_iterations=6),
+                )
+                runner = BatchRunner(config=config, pyramid_cache=cache)
+                with FrameServer(extractor=runner.extractor, max_workers=2) as server:
+                    records.append(runner.run_sequence(spec, frame_server=server))
+            stats = cache.stats()
+        finally:
+            cache.close()
+        assert stats["publishes"] == num_frames  # built once, not per engine
+        assert stats["local_builds"] == 0
+        assert stats["hits"] >= 2 * num_frames  # both engines attached each frame
+        assert records[0].ate_mean_cm == records[1].ate_mean_cm
