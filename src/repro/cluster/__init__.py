@@ -9,9 +9,14 @@ the thread server's semantics — bounded in-flight back-pressure, in-order
 results, bit-identical extraction — while scaling past the single GIL.
 Placement is pluggable (``round_robin``, ``by_sequence``, load-aware
 ``least_loaded``) with optional work stealing between worker backlogs.
-See ``docs/serving.md`` for when to pick which server and policy.
+With a :class:`SupervisorConfig` the cluster self-heals (crashed workers
+respawn, their jobs requeue under retry/deadline budgets) and with an
+:class:`ElasticityConfig` the pool grows and shrinks with load.  See
+``docs/serving.md`` for when to pick which server and policy, and its
+"Failure semantics" section for the supervision/elasticity rules.
 """
 
+from ..errors import JobAttempt, JobFailed
 from .router import (
     BySequencePolicy,
     LeastLoadedPolicy,
@@ -21,9 +26,20 @@ from .router import (
     available_policies,
     create_policy,
     register_policy,
+    route_to_alive,
 )
 from .server import ClusterServer, ClusterStats, WorkerStats
 from .shared_ring import SharedFrameRing
+from .supervisor import (
+    WORKER_DEAD,
+    WORKER_FAILED,
+    WORKER_RETIRED,
+    WORKER_RETIRING,
+    WORKER_RUNNING,
+    ElasticityConfig,
+    Supervisor,
+    SupervisorConfig,
+)
 
 __all__ = [
     "ClusterServer",
@@ -38,4 +54,15 @@ __all__ = [
     "available_policies",
     "create_policy",
     "register_policy",
+    "route_to_alive",
+    "Supervisor",
+    "SupervisorConfig",
+    "ElasticityConfig",
+    "JobAttempt",
+    "JobFailed",
+    "WORKER_RUNNING",
+    "WORKER_DEAD",
+    "WORKER_FAILED",
+    "WORKER_RETIRING",
+    "WORKER_RETIRED",
 ]

@@ -85,6 +85,23 @@ def available_policies() -> List[str]:
     return _POLICIES.names()
 
 
+def route_to_alive(loads: Sequence[WorkerLoad]) -> Optional[int]:
+    """Least-loaded alive worker from a load view, or ``None`` if all dead.
+
+    The supervised server uses this as the rerouting fallback whenever a
+    policy's first choice is a dead (or restarting) worker: requeued and
+    rerouted frames land on the shallowest alive queue, with the same
+    EWMA-latency / worker-id tie-breaks as :class:`LeastLoadedPolicy`.
+    """
+    alive = [load for load in loads if load.alive]
+    if not alive:
+        return None
+    best = min(
+        alive, key=lambda load: (load.queue_depth, load.ewma_latency_s, load.worker_id)
+    )
+    return best.worker_id
+
+
 @register_policy("round_robin")
 class RoundRobinPolicy(ShardPolicy):
     """Cycle submissions across workers; ignores the shard key and load."""

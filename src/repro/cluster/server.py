@@ -14,17 +14,27 @@ Semantics mirror the thread server deliberately:
 * **back-pressure** — at most ``max_in_flight`` frames are in flight; a
   submit beyond that blocks the producer on a condition variable (woken
   the instant a completion frees the window) instead of queueing unbounded
-  pixels;
+  pixels — or, with ``on_overload`` set to ``"fail_fast"`` /
+  ``"degrade_to_local"``, sheds the submission instead of blocking;
 * **in-order results** — :meth:`ClusterServer.extract_many` returns results
   in submission order regardless of worker completion order;
 * **identical output** — every worker builds its engine from the same
   :class:`~repro.config.ExtractorConfig`, extraction is a pure per-frame
   function, and both transports are byte-exact, so results are
-  bit-identical to sequential extraction (``tests/test_cluster.py``) no
-  matter which worker ends up running a frame;
-* **clean lifecycle** — context manager, graceful drain on close, and
-  crashed-worker detection that fails the affected submissions with a
-  :class:`~repro.errors.ReproError` instead of hanging the producer.
+  bit-identical to sequential extraction (``tests/test_cluster.py``,
+  ``tests/test_chaos.py``) no matter which worker ends up running a frame
+  — including frames that were stolen, requeued after a crash, or served
+  by the in-process degrade fallback;
+* **clean lifecycle** — context manager, graceful drain on idempotent
+  close, and crashed-worker handling: **unsupervised** (default), a dead
+  worker fails its submissions with a :class:`~repro.errors.ReproError`
+  and the cluster serves on survivors; **supervised** (pass a
+  :class:`~repro.cluster.supervisor.SupervisorConfig`), a dead worker is
+  respawned under capped exponential backoff and its jobs are *requeued*
+  through the router instead of failed, bounded by ``max_retries`` and the
+  per-job ``deadline_s`` — past either budget the job fails with a
+  structured :class:`~repro.errors.JobFailed` carrying its attempt
+  history.
 
 Placement is delegated to a :class:`~repro.cluster.router.ShardPolicy`
 (``round_robin``, ``by_sequence`` or the load-aware ``least_loaded``,
@@ -33,9 +43,9 @@ view — queue depth + EWMA latency — snapshotted from :class:`ClusterStats`
 at routing time).  A **dispatcher thread** hands each worker at most
 :data:`DISPATCH_DEPTH` jobs at a time and keeps the rest in per-worker
 backlogs; with ``work_stealing=True`` an idle worker drains a saturated
-worker's backlog.  Stealing moves *where* a job runs, never *what* it
-computes: the job's future, cache key and pixels are untouched, so results
-stay bit-identical and in submission order.
+worker's backlog.  Stealing and crash requeueing move *where* a job runs,
+never *what* it computes: the job's future, cache key and pixels are
+untouched, so results stay bit-identical and in submission order.
 
 Frame transport is chosen per frame: when the configuration selects the
 ``shared`` pyramid provider, the producer publishes the frame's whole
@@ -43,30 +53,53 @@ pyramid (level 0 included) into a
 :class:`~repro.pyramid.SharedPyramidCache`, pins the slot, and hands the
 worker only the job id — the **zero-copy fast path**; the ring write is
 skipped entirely and only happens as a fallback when the publish fails
-(cache full).  Per-worker and aggregate counters, including steal and
-publish-fallback counts and bytes copied through the ring, live in
-:class:`ClusterStats`.
+(cache full).  A requeued zero-copy job needs no republish: the producer
+pin outlives the crash, so the replacement worker attaches the same slot,
+and the dead consumer's leaked lease is voided by a forced retire when the
+job finally completes (``docs/pyramid.md``).  Per-worker and aggregate
+counters — including restarts, retries, requeues, sheds, pool changes and
+the ``leaked_slots`` audit — live in :class:`ClusterStats`.
+
+Failure semantics (supervision, elasticity, shedding, deadline rules) are
+documented in ``docs/serving.md``.
 """
 
 from __future__ import annotations
 
+import os
 import queue as queue_module
+import signal
 import threading
 import time
 from collections import deque
+from multiprocessing.connection import wait as mp_connection_wait
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..config import ExtractorConfig
-from ..errors import ReproError
+from ..errors import JobAttempt, JobFailed, ReproError
 from ..features import ExtractionResult
 from ..image import GrayImage
 from ..pyramid import SharedPyramidCache
-from ..serving.frame_server import LATENCY_WINDOW, percentile_ms
+from ..serving.frame_server import (
+    LATENCY_WINDOW,
+    local_extraction_config,
+    percentile_ms,
+)
 from .context import get_mp_context
-from .router import ShardPolicy, WorkerLoad, create_policy
+from .router import ShardPolicy, WorkerLoad, create_policy, route_to_alive
 from .shared_ring import SharedFrameRing
+from .supervisor import (
+    WORKER_DEAD,
+    WORKER_FAILED,
+    WORKER_RETIRED,
+    WORKER_RETIRING,
+    WORKER_RUNNING,
+    ElasticityConfig,
+    Supervisor,
+    SupervisorConfig,
+)
 from .worker import SHUTDOWN, worker_main
 
 #: How often the collector wakes to check worker health (seconds).
@@ -74,7 +107,8 @@ _HEALTH_POLL_S = 0.05
 
 #: Jobs handed to one worker's queue at a time.  Everything beyond this
 #: stays in the server-side backlog where the dispatcher can still steal
-#: it for an idle worker; small enough that stealing has material work to
+#: it for an idle worker — and where a supervised requeue can still move
+#: it after a crash; small enough that stealing has material work to
 #: move, large enough that a worker is never starved between refills.
 DISPATCH_DEPTH = 2
 
@@ -85,21 +119,30 @@ _EWMA_ALPHA = 0.2
 #: Safety net on ring acquisition.  Admission control guarantees a free
 #: slot exists whenever the ring is used (in-flight frames never exceed the
 #: slot count), so hitting this timeout indicates a leaked slot, not
-#: back-pressure.
+#: back-pressure; it is counted in ``ClusterStats.leaked_slots``.
 _RING_ACQUIRE_TIMEOUT_S = 5.0
 
 
 @dataclass
 class WorkerStats:
-    """Counters of one worker process, maintained by the parent."""
+    """Counters of one worker process, maintained by the parent.
+
+    ``state`` tracks the worker lifecycle (``running`` / ``dead`` /
+    ``failed`` / ``retiring`` / ``retired`` — see
+    :mod:`repro.cluster.supervisor`); ``alive`` stays the routing-facing
+    boolean and is true exactly while ``state == "running"``.
+    ``restarts`` counts supervised respawns of this worker slot.
+    """
 
     worker_id: int
     frames_completed: int = 0
     frames_failed: int = 0
     queue_depth: int = 0
     steals: int = 0
+    restarts: int = 0
     ewma_latency_s: float = 0.0
     alive: bool = True
+    state: str = WORKER_RUNNING
     # bounded recent-latency window (see serving.frame_server.LATENCY_WINDOW)
     latencies_s: "deque[float]" = field(
         default_factory=lambda: deque(maxlen=LATENCY_WINDOW), repr=False
@@ -122,8 +165,10 @@ class WorkerStats:
             "frames_failed": self.frames_failed,
             "queue_depth": self.queue_depth,
             "steals": self.steals,
+            "restarts": self.restarts,
             "ewma_latency_ms": 1000.0 * self.ewma_latency_s,
             "alive": self.alive,
+            "state": self.state,
             "latency_p50_ms": self.latency_p50_ms,
             "latency_p95_ms": self.latency_p95_ms,
         }
@@ -141,6 +186,15 @@ class ClusterStats:
     each frame), ``ring_bytes_copied`` (producer-side memcpy volume; zero
     for zero-copy frames) and ``publish_fallbacks`` (shared-pyramid
     publishes that failed and fell back to the ring).
+
+    The robustness counters make failure handling observable:
+    ``restarts`` (supervised worker respawns), ``requeued`` (jobs moved
+    off a dead worker instead of failed), ``retries`` (requeued jobs that
+    had already been dispatched — i.e. actual re-executions), ``shed``
+    (submissions refused or served by the in-process degrade fallback
+    under overload), ``pool_grows`` / ``pool_shrinks`` (elastic membership
+    changes) and ``leaked_slots`` (transport slots that had to be
+    force-reclaimed — zero in a healthy run, asserted by the chaos tests).
     """
 
     frames_submitted: int = 0
@@ -152,6 +206,13 @@ class ClusterStats:
     frames_zero_copy: int = 0
     frames_via_ring: int = 0
     ring_bytes_copied: int = 0
+    restarts: int = 0
+    retries: int = 0
+    requeued: int = 0
+    shed: int = 0
+    pool_grows: int = 0
+    pool_shrinks: int = 0
+    leaked_slots: int = 0
     workers: List[WorkerStats] = field(default_factory=list)
     _in_flight: int = 0
     _first_submit_s: Optional[float] = None
@@ -220,6 +281,46 @@ class ClusterStats:
             if fallback:
                 self.publish_fallbacks += 1
 
+    def _requeued(self, victim_id: int, target_id: int, retried: bool) -> None:
+        """Move one crashed-worker job's accounting to its new owner."""
+        with self._lock:
+            self.requeued += 1
+            if retried:
+                self.retries += 1
+            if victim_id != target_id:
+                self.workers[victim_id].queue_depth -= 1
+                self.workers[target_id].queue_depth += 1
+
+    def _restarted(self, worker_id: int) -> None:
+        with self._lock:
+            self.restarts += 1
+            self.workers[worker_id].restarts += 1
+
+    def _shed(self) -> None:
+        with self._lock:
+            self.shed += 1
+
+    def _pool_grew(self) -> None:
+        with self._lock:
+            self.pool_grows += 1
+
+    def _pool_shrank(self) -> None:
+        with self._lock:
+            self.pool_shrinks += 1
+
+    def _leaked(self, count: int) -> None:
+        with self._lock:
+            self.leaked_slots += count
+
+    def _add_worker(self) -> WorkerStats:
+        """Append stats for a newly grown worker slot (starts not alive)."""
+        with self._lock:
+            worker = WorkerStats(
+                worker_id=len(self.workers), alive=False, state=WORKER_RETIRED
+            )
+            self.workers.append(worker)
+            return worker
+
     # -- derived metrics ---------------------------------------------------
     @property
     def queue_depth(self) -> int:
@@ -281,6 +382,13 @@ class ClusterStats:
             "frames_zero_copy": self.frames_zero_copy,
             "frames_via_ring": self.frames_via_ring,
             "ring_bytes_copied": self.ring_bytes_copied,
+            "restarts": self.restarts,
+            "retries": self.retries,
+            "requeued": self.requeued,
+            "shed": self.shed,
+            "pool_grows": self.pool_grows,
+            "pool_shrinks": self.pool_shrinks,
+            "leaked_slots": self.leaked_slots,
             "latency_p50_ms": self.latency_p50_ms,
             "latency_p95_ms": self.latency_p95_ms,
             "elapsed_s": self.elapsed_s,
@@ -296,6 +404,16 @@ class _PendingJob:
     slot: Optional[int]  # ring slot (None on the zero-copy fast path)
     key: int  # pyramid-cache key (frame id, or job id when none supplied)
     pin_slot: Optional[int]  # producer pin on the cached pyramid slot
+    height: int = 0  # frame shape, kept so a requeue can rebuild the message
+    width: int = 0
+    submitted_s: float = 0.0  # perf_counter at submit (attempt elapsed base)
+    deadline: Optional[float] = None  # absolute perf_counter budget, or None
+    dispatched: bool = False  # True once the message left for a worker queue
+    attempts: List[JobAttempt] = field(default_factory=list)
+
+    def message(self, job_id: int) -> Tuple:
+        """The worker control message for this job (requeue rebuilds it)."""
+        return (job_id, self.key, self.slot, self.height, self.width)
 
 
 class _SequenceShard:
@@ -320,9 +438,14 @@ class _SequenceShard:
         return self._server.max_in_flight
 
     def submit(
-        self, image: GrayImage, frame_id: Optional[int] = None
+        self,
+        image: GrayImage,
+        frame_id: Optional[int] = None,
+        deadline_s: Optional[float] = None,
     ) -> "Future[ExtractionResult]":
-        return self._server.submit(image, shard_key=self.shard_key, frame_id=frame_id)
+        return self._server.submit(
+            image, shard_key=self.shard_key, frame_id=frame_id, deadline_s=deadline_s
+        )
 
 
 class ClusterServer:
@@ -336,7 +459,7 @@ class ClusterServer:
         ring sizes its slots for ``config.image_shape``; larger frames are
         rejected at submit.
     num_workers:
-        Worker process count (shards).
+        Initial worker process count (shards).
     policy:
         Shard policy name (``"round_robin"``, ``"by_sequence"`` or
         ``"least_loaded"``) or a :class:`~repro.cluster.router.ShardPolicy`
@@ -353,6 +476,28 @@ class ClusterServer:
         Results stay bit-identical and in submission order — stealing
         only relocates execution — but it deliberately overrides
         ``by_sequence`` affinity under load imbalance, so it is opt-in.
+    supervision:
+        A :class:`~repro.cluster.supervisor.SupervisorConfig` turns crash
+        handling from fail-fast into self-healing: dead workers respawn
+        under capped exponential backoff, stalled workers (heartbeat) are
+        killed and respawned, and their jobs are requeued through the
+        router within ``max_retries`` / ``deadline_s`` budgets.
+    elasticity:
+        An :class:`~repro.cluster.supervisor.ElasticityConfig` lets the
+        control loop grow the pool to ``max_workers`` under queue
+        pressure and retire idle workers down to ``min_workers``.
+    on_overload:
+        What ``submit`` does when the cluster cannot take the frame right
+        now (in-flight window full, or no alive worker): ``"block"``
+        (default — wait, the thread-server semantics), ``"fail_fast"``
+        (raise :class:`~repro.errors.JobFailed` immediately) or
+        ``"degrade_to_local"`` (extract in-process with a local-provider
+        twin of the same configuration — bit-identical, slower, counted
+        in ``ClusterStats.shed``).
+    fault_plan:
+        A :class:`repro.chaos.FaultPlan` whose scheduled faults (worker
+        kills/stalls, publish failures, slow frames) fire synchronously
+        inside ``submit`` — the chaos-test entry point.
     """
 
     def __init__(
@@ -363,9 +508,20 @@ class ClusterServer:
         max_in_flight: Optional[int] = None,
         start_method: Optional[str] = None,
         work_stealing: bool = False,
+        supervision: Optional[SupervisorConfig] = None,
+        elasticity: Optional[ElasticityConfig] = None,
+        on_overload: str = "block",
+        fault_plan=None,
     ) -> None:
         if num_workers <= 0:
             raise ReproError("num_workers must be positive")
+        if on_overload not in ("block", "fail_fast", "degrade_to_local"):
+            raise ReproError(
+                "on_overload must be one of 'block', 'fail_fast', "
+                f"'degrade_to_local', not {on_overload!r}"
+            )
+        if elasticity is not None and elasticity.min_workers > num_workers:
+            raise ReproError("num_workers must be >= elasticity.min_workers")
         self.config = config or ExtractorConfig()
         self.num_workers = num_workers
         self.max_in_flight = 2 * num_workers if max_in_flight is None else max_in_flight
@@ -373,39 +529,69 @@ class ClusterServer:
             raise ReproError("max_in_flight must be >= num_workers")
         self.policy = policy if isinstance(policy, ShardPolicy) else create_policy(policy)
         self.work_stealing = bool(work_stealing)
-        context = get_mp_context(start_method)
-        slot_bytes = self.config.image_height * self.config.image_width
-        self._ring = SharedFrameRing(self.max_in_flight, slot_bytes)
+        self.supervision = supervision
+        self.elasticity = elasticity
+        self.on_overload = on_overload
+        self.fault_plan = fault_plan
+        self._context = get_mp_context(start_method)
+        self._slot_bytes = self.config.image_height * self.config.image_width
+        self._ring = SharedFrameRing(self.max_in_flight, self._slot_bytes)
         # shared pyramid provider: the producer builds each frame's pyramid
         # once into a shared-memory cache and pins the slot; workers attach
         # zero-copy by cache key and the ring is only the publish-failure
         # fallback (docs/pyramid.md)
         self._pyramid_cache = (
             SharedPyramidCache.create(
-                self.config, num_slots=self.max_in_flight, context=context
+                self.config, num_slots=self.max_in_flight, context=self._context
             )
             if self.config.pyramid.provider == "shared"
             else None
         )
-        pyramid_handle = (
+        self._pyramid_handle = (
             self._pyramid_cache.handle() if self._pyramid_cache is not None else None
         )
+        capacity = num_workers
+        if elasticity is not None:
+            capacity = max(capacity, elasticity.max_workers)
+        # heartbeat board: one monotonic timestamp per worker slot, written
+        # by the worker between jobs, read by the supervisor's stall check;
+        # torn double reads are tolerable (the check is a heuristic and a
+        # false kill only costs a retry, never a wrong result)
+        self._heartbeats = self._context.Array("d", capacity, lock=False)
+        self._worker_capacity = capacity
         self.stats = ClusterStats(
             workers=[WorkerStats(worker_id=index) for index in range(num_workers)]
         )
-        self._result_queue = context.Queue()
-        self._job_queues = [context.Queue() for _ in range(num_workers)]
-        self._processes = []
+        # one job queue AND one result queue per worker: multiprocessing
+        # queues guard their pipe ends with cross-process locks, and a
+        # worker SIGKILLed mid-put would leave a *shared* result queue's
+        # write lock held forever, deadlocking every other worker's flush.
+        # Per-worker queues confine that damage to the dead worker's own
+        # queues, which a respawn replaces wholesale.
+        self._result_queues = [self._context.Queue() for _ in range(num_workers)]
+        self._job_queues = [self._context.Queue() for _ in range(num_workers)]
+        # queues of crashed workers: never written again, but drained until
+        # close so results the dead worker flushed before dying still count
+        self._retired_result_queues: List = []
+        self._processes: List = []
         self._pending: Dict[int, _PendingJob] = {}
         self._key_pending: Dict[int, int] = {}  # cache key -> in-flight jobs
+        # keys a dead worker may have touched: their cache entries are
+        # force-retired at final release to void leaked consumer leases
+        self._crashed_keys: set = set()
         self._lock = threading.Lock()
         self._next_job_id = 0
         self._closed = False
+        self._closing = False
+        self._close_lock = threading.Lock()
         self._draining = False
+        self._local_extractor = None
+        self._local_lock = threading.Lock()
+        self._stall_timers: List[threading.Timer] = []
         # admission window: one condition variable is the whole back-pressure
         # story — completions notify it, so a blocked submit wakes in
-        # microseconds instead of a poll tick; worker-death and close also
-        # notify so stuck producers surface a ReproError immediately
+        # microseconds instead of a poll tick; worker death, respawn and
+        # close also notify so blocked producers re-check liveness
         self._admission = threading.Condition()
         self._admitted = 0
         # dispatcher state: per-worker backlogs held server-side, at most
@@ -416,33 +602,22 @@ class ClusterServer:
         self._dispatcher_stop = False
         try:
             for worker_id in range(num_workers):
-                process = context.Process(
-                    target=worker_main,
-                    args=(
+                self._processes.append(
+                    self._start_worker_process(
                         worker_id,
-                        self.config,
-                        self._ring.name,
-                        slot_bytes,
                         self._job_queues[worker_id],
-                        self._result_queue,
-                        pyramid_handle,
-                    ),
-                    name=f"cluster-worker-{worker_id}",
-                    daemon=True,
+                        self._result_queues[worker_id],
+                    )
                 )
-                process.start()
-                self._processes.append(process)
         except BaseException:
             # partial spin-up: tear down what started before surfacing the
             # error, so no worker blocks on a queue that will never be fed
             for process in self._processes:
                 process.terminate()
                 process.join(timeout=5.0)
-            for job_queue in self._job_queues:
-                job_queue.close()
-                job_queue.cancel_join_thread()
-            self._result_queue.close()
-            self._result_queue.cancel_join_thread()
+            for any_queue in self._job_queues + self._result_queues:
+                any_queue.close()
+                any_queue.cancel_join_thread()
             self._ring.close()
             if self._pyramid_cache is not None:
                 self._pyramid_cache.close()
@@ -455,6 +630,30 @@ class ClusterServer:
             target=self._collect_results, name="cluster-collector", daemon=True
         )
         self._collector.start()
+        self._supervisor: Optional[Supervisor] = None
+        if supervision is not None or elasticity is not None:
+            self._supervisor = Supervisor(self, supervision, elasticity)
+            self._supervisor.start()
+
+    def _start_worker_process(self, worker_id: int, job_queue, result_queue):
+        """Spawn one worker process over its queue pair and return it started."""
+        process = self._context.Process(
+            target=worker_main,
+            args=(
+                worker_id,
+                self.config,
+                self._ring.name,
+                self._slot_bytes,
+                job_queue,
+                result_queue,
+                self._pyramid_handle,
+                self._heartbeats,
+            ),
+            name=f"cluster-worker-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        return process
 
     # -- protocol ----------------------------------------------------------
     @property
@@ -479,12 +678,22 @@ class ClusterServer:
         report["ring_fallback_frames"] = self.stats.frames_via_ring
         return report
 
+    def alive_worker_ids(self) -> List[int]:
+        """Worker ids currently serving (``state == "running"``)."""
+        return [worker.worker_id for worker in self.stats.workers if worker.alive]
+
+    @property
+    def pool_size(self) -> int:
+        """Number of alive workers (the elastic pool's current size)."""
+        return len(self.alive_worker_ids())
+
     # -- serving -----------------------------------------------------------
     def submit(
         self,
         image: GrayImage,
         shard_key: Optional[int] = None,
         frame_id: Optional[int] = None,
+        deadline_s: Optional[float] = None,
     ) -> "Future[ExtractionResult]":
         """Queue one frame; blocks while ``max_in_flight`` frames are pending.
 
@@ -493,36 +702,48 @@ class ClusterServer:
         would produce.  ``frame_id`` keys pyramid reuse: submissions of the
         same frame under the same id (multi-engine comparisons, replays)
         share one published pyramid instead of building per submission.
-        Raises :class:`~repro.errors.ReproError` when the server is closed,
-        the routed worker has died, or every worker has died while waiting
-        for an admission slot.
+        ``deadline_s`` optionally bounds the frame's total serving budget;
+        a supervised cluster fails the job with
+        :class:`~repro.errors.JobFailed` (attempt history attached) instead
+        of retrying it past the budget.  With ``on_overload`` set to
+        ``"fail_fast"`` or ``"degrade_to_local"`` an overloaded cluster
+        sheds the submission instead of blocking.  Raises
+        :class:`~repro.errors.ReproError` when the server is closed, the
+        routed worker has died (unsupervised), or every worker has died
+        with no restart pending.
         """
-        if self._closed:
+        if self._closed or self._closing:
             raise ReproError("ClusterServer is closed")
         if frame_id is not None and frame_id < 0:
             raise ReproError("frame ids must be non-negative")
+        if deadline_s is not None and deadline_s <= 0.0:
+            raise ReproError("deadline_s must be positive")
         with self._lock:
             job_id = self._next_job_id
             self._next_job_id += 1
         key = int(frame_id) if frame_id is not None else job_id
-        self._acquire_admission()
+        if self.fault_plan is not None:
+            self.fault_plan.on_submit(self, job_id)
+        submitted_s = time.perf_counter()
+        deadline = submitted_s + deadline_s if deadline_s is not None else None
+        if self.on_overload == "block":
+            self._acquire_admission()
+        elif not self._try_acquire_admission():
+            return self._shed_submission(image, "cluster saturated")
         slot: Optional[int] = None
         pin_slot: Optional[int] = None
         registered = False
         worker_id = 0
         try:
-            worker_id = self.policy.route(
-                job_id, shard_key, self.num_workers, loads=self.stats.load_view()
-            )
-            if not 0 <= worker_id < self.num_workers:
-                raise ReproError(
-                    f"shard policy routed to worker {worker_id}, outside "
-                    f"[0, {self.num_workers})"
-                )
-            if not self.stats.workers[worker_id].alive:
-                raise ReproError(
-                    f"cluster worker {worker_id} has died; frame cannot be served"
-                )
+            while True:
+                worker_id = self._route_once(job_id, shard_key)
+                if worker_id is not None:
+                    break
+                if self.on_overload == "block":
+                    self._wait_for_alive_worker()
+                    continue
+                self._release_admission()
+                return self._shed_submission(image, "no alive worker (rebuilding)")
             future: "Future[ExtractionResult]" = Future()
             zero_copy = fallback = False
             if self._pyramid_cache is not None:
@@ -530,7 +751,11 @@ class ClusterServer:
                 # included) and pin the slot so it can neither be evicted
                 # nor reclaimed before the worker attaches; on success the
                 # ring write is skipped entirely
-                if self._pyramid_cache.publish(key, image.pixels):
+                forced_miss = (
+                    self.fault_plan is not None
+                    and self.fault_plan.take_publish_failure()
+                )
+                if not forced_miss and self._pyramid_cache.publish(key, image.pixels):
                     pin_slot = self._pyramid_cache.pin(key)
                 zero_copy = pin_slot is not None
                 fallback = not zero_copy
@@ -539,31 +764,42 @@ class ClusterServer:
             else:
                 slot = self._ring.acquire(timeout=_RING_ACQUIRE_TIMEOUT_S)
                 if slot is None:
+                    self.stats._leaked(1)
                     raise ReproError(
                         "no free frame ring slot inside the admission window "
                         "(slot leak?)"
                     )
                 height, width = self._ring.write(slot, image.pixels)
-            with self._lock:
-                # re-check under the crash handler's lock: a worker marked
-                # dead after the early check above must not receive a job
-                # that _fail_worker (which drains _pending exactly once)
-                # can no longer fail
-                if not self.stats.workers[worker_id].alive:
-                    raise ReproError(
-                        f"cluster worker {worker_id} has died; frame cannot be served"
-                    )
-                self._pending[job_id] = _PendingJob(
-                    future, worker_id, slot, key, pin_slot
-                )
-                self._key_pending[key] = self._key_pending.get(key, 0) + 1
-                registered = True
-            self.stats._submitted(worker_id)
-            self.stats._transport(
-                zero_copy, 0 if zero_copy else height * width, fallback
+            job = _PendingJob(
+                future,
+                worker_id,
+                slot,
+                key,
+                pin_slot,
+                height=height,
+                width=width,
+                submitted_s=submitted_s,
+                deadline=deadline,
             )
+            # register + backlog-append under BOTH locks (dispatch CV outer,
+            # state lock inner — the same nesting the death handler takes),
+            # so a worker death can never interleave between the alive
+            # re-check and the append and orphan the message
             with self._dispatch_cv:
-                self._backlogs[worker_id].append((job_id, key, slot, height, width))
+                with self._lock:
+                    target = worker_id
+                    if not self.stats.workers[target].alive:
+                        target = self._fallback_target_locked(target)
+                    job.worker_id = target
+                    self._pending[job_id] = job
+                    self._key_pending[key] = self._key_pending.get(key, 0) + 1
+                    registered = True
+                worker_id = target
+                self.stats._submitted(target)
+                self.stats._transport(
+                    zero_copy, 0 if zero_copy else height * width, fallback
+                )
+                self._backlogs[target].append(job.message(job_id))
                 self._dispatch_cv.notify_all()
             return future
         except BaseException:
@@ -587,6 +823,87 @@ class ClusterServer:
                         self._pyramid_cache.retire(key, force=True)
             self._release_admission()
             raise
+
+    def _route_once(self, job_id: int, shard_key: Optional[int]) -> Optional[int]:
+        """One routing pass: an alive worker id, or ``None`` (supervised,
+        nothing alive right now — the caller waits or sheds)."""
+        loads = self.stats.load_view()
+        if not any(load.alive for load in loads):
+            if self.supervision is not None or self.on_overload != "block":
+                return None
+            raise ReproError("every cluster worker has died; serving halted")
+        worker_id = self.policy.route(job_id, shard_key, len(loads), loads=loads)
+        if not 0 <= worker_id < len(loads):
+            raise ReproError(
+                f"shard policy routed to worker {worker_id}, outside "
+                f"[0, {len(loads)})"
+            )
+        if loads[worker_id].alive:
+            return worker_id
+        if self.supervision is None and self.elasticity is None:
+            raise ReproError(
+                f"cluster worker {worker_id} has died; frame cannot be served"
+            )
+        # supervised/elastic: the policy's first choice is down (dead,
+        # restarting or retired) — reroute to the shallowest alive queue
+        return route_to_alive(loads)
+
+    def _fallback_target_locked(self, worker_id: int) -> int:
+        """Replacement owner when ``worker_id`` died after routing.
+
+        Callers hold ``_dispatch_cv`` + ``_lock``.  Prefers the shallowest
+        alive queue; with supervision the routed worker's own backlog is an
+        acceptable parking spot while its restart is pending (the
+        dispatcher skips non-alive workers and the respawn drains it).
+        """
+        best: Optional[int] = None
+        best_load: Optional[Tuple[int, float, int]] = None
+        for worker in self.stats.workers:
+            if not worker.alive:
+                continue
+            load = (worker.queue_depth, worker.ewma_latency_s, worker.worker_id)
+            if best_load is None or load < best_load:
+                best, best_load = worker.worker_id, load
+        if best is not None:
+            return best
+        if self.supervision is None:
+            raise ReproError(
+                f"cluster worker {worker_id} has died; frame cannot be served"
+            )
+        worker = self.stats.workers[worker_id]
+        if worker.state == WORKER_DEAD:
+            return worker_id  # held until the supervisor respawns it
+        for candidate in self.stats.workers:
+            if candidate.state == WORKER_DEAD:
+                return candidate.worker_id
+        raise ReproError("every cluster worker has died; serving halted")
+
+    def _shed_submission(
+        self, image: GrayImage, reason: str
+    ) -> "Future[ExtractionResult]":
+        """Refuse or locally serve one submission the cluster cannot take."""
+        self.stats._shed()
+        attempt = JobAttempt(worker_id=-1, reason=f"shed: {reason}", elapsed_s=0.0)
+        if self.on_overload == "fail_fast":
+            raise JobFailed(f"submission shed: {reason}", (attempt,))
+        # degrade_to_local: same configuration, local pyramid provider, so
+        # the result is bit-identical to what a worker would have produced
+        future: "Future[ExtractionResult]" = Future()
+        try:
+            future.set_result(self._extract_locally(image))
+        except BaseException as error:  # surface through the future
+            future.set_exception(error)
+        return future
+
+    def _extract_locally(self, image: GrayImage) -> ExtractionResult:
+        with self._local_lock:
+            if self._local_extractor is None:
+                from ..features import OrbExtractor
+
+                self._local_extractor = OrbExtractor(
+                    local_extraction_config(self.config)
+                )
+            return self._local_extractor.extract(image)
 
     def extract_many(
         self,
@@ -615,12 +932,18 @@ class ClusterServer:
         return [future.result() for future in futures]
 
     # -- admission (back-pressure) -----------------------------------------
+    def _recovery_possible(self) -> bool:
+        """True while a supervised restart could bring a worker back."""
+        if self.supervision is None:
+            return False
+        return any(worker.state == WORKER_DEAD for worker in self.stats.workers)
+
     def _acquire_admission(self) -> None:
         """Block until the in-flight window has room, watching worker health.
 
-        Wake-ups are notifications (completion, worker death, close) — the
-        short wait timeout below is only a lost-wakeup safety net, not the
-        release latency.
+        Wake-ups are notifications (completion, worker death/respawn,
+        close) — the short wait timeout below is only a lost-wakeup safety
+        net, not the release latency.
         """
         with self._admission:
             while True:
@@ -629,16 +952,43 @@ class ClusterServer:
                         "ClusterServer closed while waiting for an admission slot"
                     )
                 if not any(worker.alive for worker in self.stats.workers):
-                    raise ReproError("every cluster worker has died; serving halted")
-                if self._admitted < self.max_in_flight:
+                    if not self._recovery_possible():
+                        raise ReproError(
+                            "every cluster worker has died; serving halted"
+                        )
+                elif self._admitted < self.max_in_flight:
                     self._admitted += 1
                     return
                 self._admission.wait(timeout=1.0)
+
+    def _try_acquire_admission(self) -> bool:
+        """Non-blocking admission: False when the window is full."""
+        with self._admission:
+            if self._closed:
+                raise ReproError("ClusterServer is closed")
+            if self._admitted < self.max_in_flight:
+                self._admitted += 1
+                return True
+            return False
 
     def _release_admission(self) -> None:
         with self._admission:
             self._admitted -= 1
             self._admission.notify()
+
+    def _wait_for_alive_worker(self) -> None:
+        """Park a blocked producer until a worker is alive again."""
+        with self._admission:
+            while True:
+                if self._closed:
+                    raise ReproError(
+                        "ClusterServer closed while waiting for a worker restart"
+                    )
+                if any(worker.alive for worker in self.stats.workers):
+                    return
+                if not self._recovery_possible():
+                    raise ReproError("every cluster worker has died; serving halted")
+                self._admission.wait(timeout=0.05)
 
     # -- dispatch / work stealing ------------------------------------------
     def _dispatch_loop(self) -> None:
@@ -654,12 +1004,22 @@ class ClusterServer:
                         self._dispatch_cv.wait(timeout=0.2)
                 worker_id, message, victim_id = assignment
                 self._dispatched[worker_id] += 1
-            job_id = message[0]
-            if victim_id is not None:
+                job_id = message[0]
                 with self._lock:
                     job = self._pending.get(job_id)
                     if job is not None:
-                        job.worker_id = worker_id
+                        job.dispatched = True
+                        if victim_id is not None:
+                            job.worker_id = worker_id
+            if job is None:
+                # the job expired or failed while queued; give the window
+                # back and drop the stale message
+                with self._dispatch_cv:
+                    self._dispatched[worker_id] = max(
+                        0, self._dispatched[worker_id] - 1
+                    )
+                continue
+            if victim_id is not None:
                 self.stats._stolen(victim_id, worker_id)
             try:
                 self._job_queues[worker_id].put(message)
@@ -675,7 +1035,8 @@ class ClusterServer:
         stealing moves genuinely-waiting work and never races a victim that
         would have dispatched the job itself in this same pass.
         """
-        for worker_id in range(self.num_workers):
+        pool = len(self._backlogs)
+        for worker_id in range(pool):
             if not self.stats.workers[worker_id].alive:
                 continue
             if self._dispatched[worker_id] >= DISPATCH_DEPTH:
@@ -685,7 +1046,7 @@ class ClusterServer:
             if not self.work_stealing:
                 continue
             victim_id, victim_depth = None, 0
-            for other in range(self.num_workers):
+            for other in range(pool):
                 if other == worker_id or not self.stats.workers[other].alive:
                     continue
                 if self._dispatched[other] < DISPATCH_DEPTH:
@@ -697,62 +1058,101 @@ class ClusterServer:
         return None
 
     def _dispatch_failed(self, worker_id: int, job_id: int) -> None:
-        """Fail one job whose queue hand-off raised (torn-down queue)."""
+        """Handle a job whose queue hand-off raised (torn-down queue)."""
+        failed_job = None
         with self._dispatch_cv:
             self._dispatched[worker_id] = max(0, self._dispatched[worker_id] - 1)
-        with self._lock:
-            job = self._pending.pop(job_id, None)
-        if job is None:
-            return
-        self.stats._failed(job.worker_id)
-        self._release_job_resources(job, crashed=True)
+            with self._lock:
+                job = self._pending.get(job_id)
+                if job is None or job.worker_id != worker_id:
+                    return  # already failed or requeued by the death handler
+                if self.supervision is not None and not self._closing:
+                    # the death handler (or respawn) will move it; putting
+                    # it back preserves submission order at the front
+                    job.dispatched = False
+                    self._backlogs[worker_id].appendleft(job.message(job_id))
+                    self._dispatch_cv.notify_all()
+                    return
+                del self._pending[job_id]
+                failed_job = job
+        self.stats._failed(failed_job.worker_id)
+        self._release_job_resources(failed_job, crashed=True)
         self._release_admission()
-        job.future.set_exception(
+        failed_job.future.set_exception(
             ReproError(f"cluster worker {worker_id} queue rejected the frame")
         )
 
     # -- result collection / worker health ---------------------------------
     def _collect_results(self) -> None:
+        """Sweep every worker's result queue, folding batches into futures.
+
+        The sweep covers live queues AND the retired queues of crashed
+        workers, so results a worker flushed just before dying still
+        complete their futures (the requeued duplicate, if any, is
+        discarded when ``_pending`` comes up empty).  Idle passes block on
+        the queues' underlying pipes via ``connection.wait`` — one poll
+        for N queues — falling back to a plain sleep when the pipe handles
+        are not exposed.
+        """
         while True:
-            try:
-                message = self._result_queue.get(timeout=_HEALTH_POLL_S)
-            except queue_module.Empty:
-                if self._closed and not self._pending:
-                    return
-                self._check_worker_health()
+            with self._lock:
+                queues = list(self._result_queues) + self._retired_result_queues
+            drained_any = False
+            for result_queue in queues:
+                while True:
+                    try:
+                        message = result_queue.get_nowait()
+                    except queue_module.Empty:
+                        break
+                    except (EOFError, OSError, ValueError):
+                        break  # queue torn down (close, or crashed worker)
+                    drained_any = True
+                    self._fold_result_batch(message)
+            if drained_any:
                 continue
-            except (EOFError, OSError):
-                return  # queue torn down during close
-            worker_id, batch = message
-            with self._dispatch_cv:
-                # the executor finished len(batch) jobs: reopen its window
-                self._dispatched[worker_id] = max(
-                    0, self._dispatched[worker_id] - len(batch)
-                )
-                self._dispatch_cv.notify_all()
-            for job_id, result, latency_s, error in batch:
-                with self._lock:
-                    job = self._pending.pop(job_id, None)
-                if job is None:
-                    continue  # already failed by crash handling
-                # account the completion BEFORE freeing transport resources
-                # and the admission slot: a producer blocked on admission
-                # must not see the window shrink before the in-flight
-                # counter does (else max_in_flight can overshoot)
-                if error is None:
-                    self.stats._completed(worker_id, latency_s)
-                    self._release_job_resources(job)
-                    self._release_admission()
-                    job.future.set_result(result)
-                else:
-                    self.stats._failed(worker_id)
-                    self._release_job_resources(job)
-                    self._release_admission()
-                    job.future.set_exception(
-                        ReproError(
-                            f"cluster worker {worker_id} extraction failed: {error}"
-                        )
+            if self._closed and not self._pending:
+                return
+            self._check_worker_health()
+            try:
+                readers = [result_queue._reader for result_queue in queues]
+                mp_connection_wait(readers, timeout=_HEALTH_POLL_S)
+            except (AttributeError, OSError, ValueError):
+                time.sleep(_HEALTH_POLL_S)
+
+    def _fold_result_batch(self, message) -> None:
+        worker_id, batch = message
+        with self._dispatch_cv:
+            # the executor finished len(batch) jobs: reopen its window
+            self._dispatched[worker_id] = max(
+                0, self._dispatched[worker_id] - len(batch)
+            )
+            self._dispatch_cv.notify_all()
+        for job_id, result, latency_s, error in batch:
+            with self._lock:
+                job = self._pending.pop(job_id, None)
+            if job is None:
+                continue  # failed/expired earlier, or a pre-requeue
+                # duplicate from a worker that flushed before dying
+            # account the completion BEFORE freeing transport resources
+            # and the admission slot: a producer blocked on admission
+            # must not see the window shrink before the in-flight
+            # counter does (else max_in_flight can overshoot).  The
+            # accounting target is the job's CURRENT owner — after a
+            # steal or crash requeue that is where its queue_depth sits.
+            if error is None:
+                self.stats._completed(job.worker_id, latency_s)
+                self._release_job_resources(job)
+                self._release_admission()
+                job.future.set_result(result)
+            else:
+                self.stats._failed(job.worker_id)
+                self._release_job_resources(job)
+                self._release_admission()
+                job.future.set_exception(
+                    ReproError(
+                        f"cluster worker {worker_id} extraction failed: {error}"
                     )
+                )
 
     def _release_job_resources(self, job: _PendingJob, crashed: bool = False) -> None:
         """Free a collected job's transport resources.
@@ -761,93 +1161,511 @@ class ClusterServer:
         the ring slot (if the frame travelled by ring) returns to the pool,
         the producer's pin on the cached pyramid is released, and the cache
         entry is retired once no other in-flight job shares its key.
-        ``crashed`` additionally voids leases held by a dead process.
+        ``crashed`` (or a key touched by a dead worker — ``_crashed_keys``)
+        forces the retire, voiding consumer leases a dead process can never
+        return, so crash paths reclaim every slot they leased.
         """
         if job.slot is not None:
             self._ring.release(job.slot)
-        if self._pyramid_cache is not None:
-            if job.pin_slot is not None:
-                self._pyramid_cache.unpin(job.pin_slot)
-            with self._lock:
-                remaining = self._key_pending.get(job.key, 1) - 1
-                if remaining <= 0:
-                    self._key_pending.pop(job.key, None)
-                else:
-                    self._key_pending[job.key] = remaining
+        if self._pyramid_cache is not None and job.pin_slot is not None:
+            self._pyramid_cache.unpin(job.pin_slot)
+        with self._lock:
+            remaining = self._key_pending.get(job.key, 1) - 1
             if remaining <= 0:
-                self._pyramid_cache.retire(job.key, force=crashed)
-        else:
-            with self._lock:
-                remaining = self._key_pending.get(job.key, 1) - 1
-                if remaining <= 0:
-                    self._key_pending.pop(job.key, None)
-                else:
-                    self._key_pending[job.key] = remaining
+                self._key_pending.pop(job.key, None)
+                force = crashed or job.key in self._crashed_keys
+                self._crashed_keys.discard(job.key)
+            else:
+                self._key_pending[job.key] = remaining
+        if remaining <= 0 and self._pyramid_cache is not None:
+            self._pyramid_cache.retire(job.key, force=force)
 
     def _check_worker_health(self) -> None:
-        for worker_id, process in enumerate(self._processes):
+        for worker_id, process in enumerate(list(self._processes)):
             worker = self.stats.workers[worker_id]
-            if worker.alive and process.exitcode is not None:
-                if self._draining and process.exitcode == 0:
-                    continue  # normal sentinel exit while close() drains
-                self._fail_worker(worker_id, process.exitcode)
-
-    def _fail_worker(self, worker_id: int, exitcode: Optional[int]) -> None:
-        """Mark a worker dead and fail every submission it currently owns."""
-        worker = self.stats.workers[worker_id]
-        with self._dispatch_cv:
-            # undispatched backlog jobs are owned by this worker and fail
-            # below via _pending; clearing keeps the dispatcher from handing
-            # them to a dead queue (or stealing already-failed work)
-            self._backlogs[worker_id].clear()
-            self._dispatched[worker_id] = 0
-        with self._lock:
+            if process.exitcode is None:
+                continue
+            if worker.state == WORKER_RETIRING:
+                self._finish_retire(worker_id)
+                continue
             if not worker.alive:
-                return
-            worker.alive = False
-            doomed = [
-                (job_id, job)
-                for job_id, job in self._pending.items()
-                if job.worker_id == worker_id
-            ]
-            for job_id, _ in doomed:
-                del self._pending[job_id]
-        for job_id, job in doomed:
+                continue
+            if self._draining and process.exitcode == 0:
+                continue  # normal sentinel exit while close() drains
+            self._on_worker_exit(worker_id, process.exitcode)
+
+    def _on_worker_exit(
+        self, worker_id: int, exitcode: Optional[int], reason: Optional[str] = None
+    ) -> None:
+        """Fold one worker death into job state: fail (legacy) or requeue.
+
+        Without supervision this matches the historical fail-fast handling
+        (jobs fail with a :class:`~repro.errors.ReproError`, the worker is
+        permanently down).  With supervision the worker is marked ``dead``
+        for the supervisor to respawn, and every job it owned is requeued
+        through the router — front of the target backlog, submission order
+        preserved — unless its deadline or retry budget is exhausted, in
+        which case it fails with a :class:`~repro.errors.JobFailed`
+        carrying the attempt history.
+        """
+        now = time.perf_counter()
+        reason = reason or f"died (exit code {exitcode})"
+        failures: List[Tuple[_PendingJob, Exception]] = []
+        with self._dispatch_cv:
+            with self._lock:
+                worker = self.stats.workers[worker_id]
+                if worker.state != WORKER_RUNNING:
+                    return  # already handled (kill + health check race)
+                supervised = self.supervision is not None
+                worker.state = WORKER_DEAD if supervised else WORKER_FAILED
+                worker.alive = False
+                doomed = sorted(
+                    (
+                        (job_id, job)
+                        for job_id, job in self._pending.items()
+                        if job.worker_id == worker_id
+                    ),
+                    reverse=True,  # appendleft in descending id keeps order
+                )
+                for job_id, _ in doomed:
+                    del self._pending[job_id]
+                self._backlogs[worker_id].clear()
+                self._dispatched[worker_id] = 0
+                for job_id, job in doomed:
+                    if not supervised:
+                        failures.append(
+                            (
+                                job,
+                                ReproError(
+                                    f"cluster worker {worker_id} {reason} "
+                                    "with frames in flight"
+                                ),
+                            )
+                        )
+                        continue
+                    was_dispatched = job.dispatched
+                    if was_dispatched:
+                        # only a job that actually reached the worker burns
+                        # retry budget; a queued job just moves
+                        job.attempts.append(
+                            JobAttempt(worker_id, reason, now - job.submitted_s)
+                        )
+                    if job.deadline is not None and now > job.deadline:
+                        failures.append(
+                            (
+                                job,
+                                JobFailed(
+                                    f"frame deadline expired after worker "
+                                    f"{worker_id} {reason}",
+                                    tuple(job.attempts),
+                                ),
+                            )
+                        )
+                        continue
+                    if len(job.attempts) > self.supervision.max_retries:
+                        failures.append(
+                            (
+                                job,
+                                JobFailed(
+                                    f"retry budget of "
+                                    f"{self.supervision.max_retries} exhausted",
+                                    tuple(job.attempts),
+                                ),
+                            )
+                        )
+                        continue
+                    target = self._fallback_target_locked(worker_id)
+                    job.worker_id = target
+                    job.dispatched = False
+                    self._pending[job_id] = job
+                    self._backlogs[target].appendleft(job.message(job_id))
+                    self._crashed_keys.add(job.key)
+                    self.stats._requeued(worker_id, target, retried=was_dispatched)
+            self._dispatch_cv.notify_all()
+        for job, error in failures:
             self.stats._failed(worker_id)
             self._release_job_resources(job, crashed=True)
             self._release_admission()
-            job.future.set_exception(
-                ReproError(
-                    f"cluster worker {worker_id} died (exit code {exitcode}) "
-                    "with frames in flight"
-                )
-            )
+            job.future.set_exception(error)
         with self._admission:
             self._admission.notify_all()  # blocked producers re-check liveness
-        with self._dispatch_cv:
-            self._dispatch_cv.notify_all()
 
     def kill_worker(self, worker_id: int) -> None:
         """Fault-injection hook: kill one worker and surface the failure.
 
-        Used by the crash tests (and available for chaos drills): the
-        worker process is killed, joined, and every submission pending on
-        it fails with a :class:`~repro.errors.ReproError`.
+        Used by the crash tests (and :class:`repro.chaos.FaultPlan`): the
+        worker process is killed and joined; without supervision every
+        submission pending on it fails with a
+        :class:`~repro.errors.ReproError`, with supervision its jobs are
+        requeued and the supervisor respawns it.
         """
-        if not 0 <= worker_id < self.num_workers:
+        if not 0 <= worker_id < len(self.stats.workers):
             raise ReproError(f"no cluster worker {worker_id}")
         process = self._processes[worker_id]
         if process.exitcode is None:
             process.kill()
         process.join()
-        self._fail_worker(worker_id, process.exitcode)
+        self._on_worker_exit(worker_id, process.exitcode)
+
+    # -- chaos hooks (repro.chaos.FaultPlan) --------------------------------
+    def chaos_kill(self, worker_id: Optional[int] = None) -> Optional[int]:
+        """Kill one alive worker (SIGKILL) and fold the death in synchronously.
+
+        ``worker_id`` is a preference; a dead/retired preference falls back
+        to the first alive worker.  Returns the killed worker id, or
+        ``None`` when nothing was alive to kill.
+        """
+        target = self._pick_chaos_target(worker_id)
+        if target is None:
+            return None
+        process = self._processes[target]
+        if process.exitcode is None:
+            process.kill()
+        process.join(timeout=5.0)
+        self._on_worker_exit(target, process.exitcode, reason="chaos kill")
+        return target
+
+    def chaos_stall(
+        self, worker_id: Optional[int] = None, duration_s: float = 0.2
+    ) -> Optional[int]:
+        """SIGSTOP one alive worker, SIGCONT after ``duration_s`` (timer).
+
+        While stopped the worker stops heartbeating, so a supervised
+        cluster with a short ``heartbeat_timeout_s`` will kill and respawn
+        it — the stall-detection path of the chaos matrix.  Returns the
+        stalled worker id or ``None``.
+        """
+        target = self._pick_chaos_target(worker_id)
+        if target is None:
+            return None
+        pid = self._processes[target].pid
+        try:
+            os.kill(pid, signal.SIGSTOP)
+        except (ProcessLookupError, OSError):
+            return None
+
+        def _resume() -> None:
+            try:
+                os.kill(pid, signal.SIGCONT)
+            except (ProcessLookupError, OSError):
+                pass
+
+        timer = threading.Timer(duration_s, _resume)
+        timer.daemon = True
+        timer.start()
+        self._stall_timers.append(timer)
+        return target
+
+    def _pick_chaos_target(self, worker_id: Optional[int]) -> Optional[int]:
+        workers = self.stats.workers
+        if (
+            worker_id is not None
+            and 0 <= worker_id < len(workers)
+            and workers[worker_id].alive
+        ):
+            return worker_id
+        for worker in workers:
+            if worker.alive:
+                return worker.worker_id
+        return None
+
+    # -- supervisor-facing mechanics ---------------------------------------
+    def _dispatched_count(self, worker_id: int) -> int:
+        with self._dispatch_cv:
+            return self._dispatched[worker_id]
+
+    def _last_heartbeat(self, worker_id: int) -> float:
+        return float(self._heartbeats[worker_id])
+
+    def _worker_is_idle(self, worker_id: int) -> bool:
+        """No backlog and no dispatched jobs (elastic retirement check)."""
+        with self._dispatch_cv:
+            return (
+                not self._backlogs[worker_id] and self._dispatched[worker_id] == 0
+            )
+
+    def _kill_stalled_worker(self, worker_id: int, stalled_for_s: float) -> None:
+        """Kill a heartbeat-stalled worker; its jobs requeue like a crash."""
+        process = self._processes[worker_id]
+        if process.exitcode is None:
+            try:
+                process.kill()
+            except Exception:
+                return
+        process.join(timeout=5.0)
+        self._on_worker_exit(
+            worker_id,
+            process.exitcode,
+            reason=f"stalled (no heartbeat for {stalled_for_s:.1f}s); killed",
+        )
+
+    def _respawn_worker(self, worker_id: int) -> bool:
+        """Restart one dead worker slot with the same engine configuration.
+
+        Fresh job AND result queues replace the dead worker's pair before
+        the slot is marked alive: stale job messages (already requeued
+        elsewhere) can never reach the replacement, and a lock the dead
+        process held on either old queue can never wedge the new one.  The
+        old result queue moves to the retired list so anything the worker
+        flushed before dying is still collected.  Returns False when the
+        server is closing, the slot is not restartable, or the spawn
+        itself failed (the supervisor retries after backoff).
+        """
+        if self._closed or self._closing:
+            return False
+        worker = self.stats.workers[worker_id]
+        if worker.state != WORKER_DEAD:
+            return False
+        old_process = self._processes[worker_id]
+        if old_process.exitcode is None:
+            return False  # still exiting; next tick
+        new_queue = self._context.Queue()
+        new_result_queue = self._context.Queue()
+        self._heartbeats[worker_id] = 0.0
+        try:
+            process = self._start_worker_process(
+                worker_id, new_queue, new_result_queue
+            )
+        except Exception:
+            for failed_queue in (new_queue, new_result_queue):
+                failed_queue.close()
+                failed_queue.cancel_join_thread()
+            return False
+        old_queue = self._job_queues[worker_id]
+        with self._dispatch_cv:
+            with self._lock:
+                self._job_queues[worker_id] = new_queue
+                self._retired_result_queues.append(
+                    self._result_queues[worker_id]
+                )
+                self._result_queues[worker_id] = new_result_queue
+                self._processes[worker_id] = process
+                worker.state = WORKER_RUNNING
+                worker.alive = True
+            self._dispatch_cv.notify_all()
+        self.stats._restarted(worker_id)
+        with self._admission:
+            self._admission.notify_all()  # blocked producers can route again
+        try:
+            old_queue.close()
+            old_queue.cancel_join_thread()
+        except Exception:
+            pass
+        return True
+
+    def _give_up_worker(self, worker_id: int) -> None:
+        """Turn a crash-looping worker permanent-failed (restart budget out).
+
+        Jobs still parked on it are rerouted if any worker is alive or
+        another restart is pending; otherwise they fail with a
+        :class:`~repro.errors.JobFailed` carrying their history.
+        """
+        now = time.perf_counter()
+        failures: List[Tuple[_PendingJob, Exception]] = []
+        with self._dispatch_cv:
+            with self._lock:
+                worker = self.stats.workers[worker_id]
+                if worker.state != WORKER_DEAD:
+                    return
+                worker.state = WORKER_FAILED
+                held = sorted(
+                    (
+                        (job_id, job)
+                        for job_id, job in self._pending.items()
+                        if job.worker_id == worker_id
+                    ),
+                    reverse=True,
+                )
+                for job_id, _ in held:
+                    del self._pending[job_id]
+                self._backlogs[worker_id].clear()
+                for job_id, job in held:
+                    try:
+                        target = self._fallback_target_locked(worker_id)
+                    except ReproError:
+                        target = None
+                    if target is None or target == worker_id:
+                        job.attempts.append(
+                            JobAttempt(
+                                worker_id,
+                                "worker restart budget exhausted",
+                                now - job.submitted_s,
+                            )
+                        )
+                        failures.append(
+                            (
+                                job,
+                                JobFailed(
+                                    f"cluster worker {worker_id} permanently "
+                                    "failed (restart budget exhausted)",
+                                    tuple(job.attempts),
+                                ),
+                            )
+                        )
+                        continue
+                    job.worker_id = target
+                    job.dispatched = False
+                    self._pending[job_id] = job
+                    self._backlogs[target].appendleft(job.message(job_id))
+                    self.stats._requeued(worker_id, target, retried=False)
+            self._dispatch_cv.notify_all()
+        for job, error in failures:
+            self.stats._failed(worker_id)
+            self._release_job_resources(job, crashed=True)
+            self._release_admission()
+            job.future.set_exception(error)
+        with self._admission:
+            self._admission.notify_all()
+
+    def _expire_deadlines(self) -> None:
+        """Fail queued (undispatched) jobs whose deadline has passed.
+
+        Dispatched jobs are left alone — releasing a ring slot a live
+        worker may still be reading would race; their deadline is enforced
+        at requeue time if the worker dies, or simply when the (late)
+        result arrives.
+        """
+        now = time.perf_counter()
+        expired: List[Tuple[int, _PendingJob]] = []
+        with self._dispatch_cv:
+            with self._lock:
+                for job_id, job in list(self._pending.items()):
+                    if job.deadline is None or job.dispatched or now <= job.deadline:
+                        continue
+                    backlog = self._backlogs[job.worker_id]
+                    for message in backlog:
+                        if message[0] == job_id:
+                            backlog.remove(message)
+                            break
+                    else:
+                        continue  # mid-dispatch; the next pass settles it
+                    del self._pending[job_id]
+                    expired.append((job_id, job))
+        for job_id, job in expired:
+            job.attempts.append(
+                JobAttempt(
+                    job.worker_id,
+                    "deadline expired before dispatch",
+                    now - job.submitted_s,
+                )
+            )
+            self.stats._failed(job.worker_id)
+            self._release_job_resources(job)
+            self._release_admission()
+            job.future.set_exception(
+                JobFailed(
+                    "frame deadline expired before dispatch", tuple(job.attempts)
+                )
+            )
+
+    def _grow_pool(self) -> bool:
+        """Add one worker (reusing a retired slot first); elasticity hook."""
+        if self._closed or self._closing:
+            return False
+        with self._lock:
+            slot_id = next(
+                (
+                    worker.worker_id
+                    for worker in self.stats.workers
+                    if worker.state == WORKER_RETIRED
+                ),
+                None,
+            )
+            appending = slot_id is None
+            if appending:
+                if len(self.stats.workers) >= self._worker_capacity:
+                    return False
+                slot_id = len(self.stats.workers)
+        queue = self._context.Queue()
+        result_queue = self._context.Queue()
+        self._heartbeats[slot_id] = 0.0
+        try:
+            process = self._start_worker_process(slot_id, queue, result_queue)
+        except Exception:
+            for failed_queue in (queue, result_queue):
+                failed_queue.close()
+                failed_queue.cancel_join_thread()
+            return False
+        with self._dispatch_cv:
+            with self._lock:
+                if appending:
+                    self.stats._add_worker()
+                    self._job_queues.append(queue)
+                    self._result_queues.append(result_queue)
+                    self._processes.append(process)
+                    self._backlogs.append(deque())
+                    self._dispatched.append(0)
+                else:
+                    self._job_queues[slot_id] = queue
+                    self._retired_result_queues.append(
+                        self._result_queues[slot_id]
+                    )
+                    self._result_queues[slot_id] = result_queue
+                    self._processes[slot_id] = process
+                worker = self.stats.workers[slot_id]
+                worker.state = WORKER_RUNNING
+                worker.alive = True
+            self._dispatch_cv.notify_all()
+        self.stats._pool_grew()
+        with self._admission:
+            self._admission.notify_all()
+        return True
+
+    def _retire_worker(self, worker_id: int) -> bool:
+        """Drain one idle worker out of the pool; elasticity hook."""
+        if self.elasticity is None or self._closed or self._closing:
+            return False
+        with self._dispatch_cv:
+            with self._lock:
+                worker = self.stats.workers[worker_id]
+                if worker.state != WORKER_RUNNING:
+                    return False
+                if self._backlogs[worker_id] or self._dispatched[worker_id] > 0:
+                    return False
+                alive = sum(1 for entry in self.stats.workers if entry.alive)
+                if alive <= self.elasticity.min_workers:
+                    return False
+                worker.state = WORKER_RETIRING
+                worker.alive = False
+        try:
+            self._job_queues[worker_id].put(SHUTDOWN)
+        except Exception:
+            pass  # its exit is observed by _check_worker_health either way
+        return True
+
+    def _finish_retire(self, worker_id: int) -> None:
+        process = self._processes[worker_id]
+        process.join(timeout=5.0)
+        with self._lock:
+            worker = self.stats.workers[worker_id]
+            if worker.state != WORKER_RETIRING:
+                return
+            worker.state = WORKER_RETIRED
+        self.stats._pool_shrank()
 
     # -- lifecycle ---------------------------------------------------------
     def close(self, drain_timeout_s: float = 30.0) -> None:
-        """Gracefully drain in-flight frames and tear the cluster down."""
-        if self._closed:
-            return
-        self._draining = True
+        """Gracefully drain in-flight frames and tear the cluster down.
+
+        Idempotent and crash-safe: a second call returns immediately, a
+        worker that died mid-drain neither hangs the drain nor races the
+        shared-memory unlink (every process is joined before the ring and
+        cache are released), and any transport slot a crash left leased is
+        force-reclaimed and counted in ``ClusterStats.leaked_slots``.
+        """
+        with self._close_lock:
+            if self._closed or self._closing:
+                return
+            self._closing = True
+            self._draining = True
+        for timer in self._stall_timers:
+            timer.cancel()
+        for process in self._processes:
+            if process.exitcode is None and process.pid is not None:
+                try:
+                    os.kill(process.pid, signal.SIGCONT)  # undo chaos stalls
+                except (ProcessLookupError, OSError):
+                    pass
         deadline = time.perf_counter() + drain_timeout_s
         while time.perf_counter() < deadline:
             with self._lock:
@@ -855,8 +1673,11 @@ class ClusterServer:
             if drained:
                 break
             if not any(worker.alive for worker in self.stats.workers):
-                break
+                if not self._recovery_possible():
+                    break
             time.sleep(_HEALTH_POLL_S)
+        if self._supervisor is not None:
+            self._supervisor.stop()
         with self._admission:
             self._closed = True
             self._admission.notify_all()  # blocked producers raise, not hang
@@ -881,16 +1702,31 @@ class ClusterServer:
                 ReproError("ClusterServer closed before the frame was served")
             )
         for process in self._processes:
-            process.join(timeout=5.0)
-            if process.exitcode is None:
-                process.terminate()
+            try:
                 process.join(timeout=5.0)
+                if process.exitcode is None:
+                    process.terminate()
+                    process.join(timeout=5.0)
+            except Exception:
+                pass
         self._collector.join(timeout=5.0)
-        for job_queue in self._job_queues:
-            job_queue.close()
-            job_queue.cancel_join_thread()
-        self._result_queue.close()
-        self._result_queue.cancel_join_thread()
+        all_queues = (
+            self._job_queues + self._result_queues + self._retired_result_queues
+        )
+        for any_queue in all_queues:
+            try:
+                any_queue.close()
+                any_queue.cancel_join_thread()
+            except Exception:
+                pass
+        # leak audit: with every job released and every worker joined,
+        # anything still leased was leaked by a crash path — reclaim it
+        # and make it visible before the shared memory goes away
+        leaked = self._ring.in_flight()
+        if self._pyramid_cache is not None:
+            leaked += self._pyramid_cache.reclaim_leaked()
+        if leaked:
+            self.stats._leaked(leaked)
         self._ring.close()
         if self._pyramid_cache is not None:
             self._pyramid_cache.close()

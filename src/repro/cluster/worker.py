@@ -26,6 +26,14 @@ through the result queue, buffered per worker and flushed as ONE queue put
 when the batch fills or the job queue runs dry, cutting pipe syscalls at
 high frame rates without delaying results while the worker is idle.
 
+Robustness plumbing (``docs/serving.md`` → Failure semantics): workers
+ignore ``SIGINT`` so a Ctrl-C aimed at the parent never kills the pool out
+from under a graceful ``close()``, and each worker stamps a monotonic
+**heartbeat** into a shared array between jobs (and every
+:data:`HEARTBEAT_INTERVAL_S` while parked on an empty queue), which is what
+lets the supervisor distinguish a worker that is busy from one that is
+stuck and must be killed and respawned.
+
 The function lives at module scope so both ``fork`` and ``spawn`` start
 methods can target it.
 """
@@ -33,6 +41,7 @@ methods can target it.
 from __future__ import annotations
 
 import queue as queue_module
+import signal
 import time
 from multiprocessing import shared_memory
 
@@ -44,6 +53,9 @@ SHUTDOWN = None
 #: coalesces puts while the worker is saturated and never adds idle latency.
 RESULT_BATCH_MAX = 8
 
+#: How often a parked worker refreshes its heartbeat while waiting for work.
+HEARTBEAT_INTERVAL_S = 0.5
+
 
 def worker_main(
     worker_id: int,
@@ -53,6 +65,7 @@ def worker_main(
     job_queue,
     result_queue,
     pyramid_handle=None,
+    heartbeat=None,
 ) -> None:
     """Consume frame jobs until the shutdown sentinel arrives.
 
@@ -62,7 +75,17 @@ def worker_main(
     cache pin is echoed back: the server tracks both per job and frees them
     when the result (or failure) is collected, which guarantees the worker
     has finished reading the shared pages before they are reused.
+
+    ``heartbeat`` is an optional shared double array indexed by worker id;
+    the worker stamps ``time.monotonic()`` into its slot between jobs so
+    the supervisor's stall detector can tell a long extraction (beats
+    between frames) from a wedged process (no beats at all).
     """
+    # A Ctrl-C in an interactive parent delivers SIGINT to the whole
+    # process group; the parent's close() handles the shutdown, so workers
+    # must not die out from under it mid-drain.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
     # Imports happen inside the worker so the ``spawn`` start method pays
     # them here rather than pickling live engine objects.
     from ..features import OrbExtractor
@@ -81,27 +104,45 @@ def worker_main(
     )
     pending = []
 
+    def beat() -> None:
+        if heartbeat is not None:
+            heartbeat[worker_id] = time.monotonic()
+
     def flush() -> None:
         if pending:
             result_queue.put((worker_id, list(pending)))
             pending.clear()
 
+    def get_blocking():
+        """Blocking get that keeps the heartbeat fresh while parked."""
+        while True:
+            try:
+                return job_queue.get(timeout=HEARTBEAT_INTERVAL_S)
+            except queue_module.Empty:
+                beat()
+
     try:
         extractor = OrbExtractor(config, pyramid_cache=pyramid_cache)
+        beat()
         while True:
-            if pending:
-                # drain without blocking while results are buffered; a dry
-                # queue flushes them before we park on the blocking get
-                try:
-                    message = job_queue.get_nowait()
-                except queue_module.Empty:
-                    flush()
-                    message = job_queue.get()
-            else:
-                message = job_queue.get()
+            try:
+                if pending:
+                    # drain without blocking while results are buffered; a
+                    # dry queue flushes them before we park on the blocking
+                    # get
+                    try:
+                        message = job_queue.get_nowait()
+                    except queue_module.Empty:
+                        flush()
+                        message = get_blocking()
+                else:
+                    message = get_blocking()
+            except (EOFError, OSError):
+                return  # parent tore the queue down (close after crash)
             if message is SHUTDOWN:
                 flush()
                 break
+            beat()
             job_id, key, slot, height, width = message
             start = time.perf_counter()
             try:
@@ -129,6 +170,7 @@ def worker_main(
             except Exception as error:  # surface, don't kill the worker
                 latency = time.perf_counter() - start
                 pending.append((job_id, None, latency, repr(error)))
+            beat()
             if len(pending) >= RESULT_BATCH_MAX:
                 flush()
     finally:

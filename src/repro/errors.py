@@ -7,9 +7,51 @@ accidentally swallowing programming errors such as :class:`TypeError`.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
 
 class ReproError(Exception):
     """Base class for every error raised by the repro library."""
+
+
+@dataclass(frozen=True)
+class JobAttempt:
+    """One failed attempt at serving a frame (crash, stall, deadline).
+
+    ``worker_id`` is the worker that owned the attempt (-1 when the frame
+    never reached a worker), ``reason`` states why the attempt ended and
+    ``elapsed_s`` measures from the original submission to the failure.
+    """
+
+    worker_id: int
+    reason: str
+    elapsed_s: float
+
+
+class JobFailed(ReproError):
+    """A served frame definitively failed after its retry/deadline budget.
+
+    Unlike a transport-level :class:`ReproError`, the failure is
+    *structured*: :attr:`attempts` carries the full per-attempt history
+    (which worker, why, and when), so callers can distinguish a deadline
+    miss from an exhausted retry budget or a shed submission.
+    """
+
+    def __init__(self, message: str, attempts: Sequence[JobAttempt] = ()) -> None:
+        super().__init__(message)
+        self.attempts: Tuple[JobAttempt, ...] = tuple(attempts)
+
+    def __str__(self) -> str:  # attempt history rides along in logs
+        base = super().__str__()
+        if not self.attempts:
+            return base
+        history = "; ".join(
+            f"attempt {index + 1}: worker {attempt.worker_id} "
+            f"{attempt.reason} after {attempt.elapsed_s:.3f}s"
+            for index, attempt in enumerate(self.attempts)
+        )
+        return f"{base} [{history}]"
 
 
 class ImageError(ReproError):

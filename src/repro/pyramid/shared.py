@@ -360,6 +360,41 @@ class SharedPyramidCache:
             else:
                 self._slot_field_set(slot, _S_STATE, _RETIRED)
 
+    def reclaim_leaked(self) -> int:
+        """Force-reclaim every occupied slot; returns how many were *leaked*.
+
+        A slot counts as leaked when it still carries open leases — after a
+        clean run every lease has been returned (pins unpinned, attaches
+        closed, retires applied), so any survivor was held by a process
+        that died without releasing.  The cluster server calls this during
+        :meth:`~repro.cluster.ClusterServer.close` **after** joining every
+        worker, feeding the count into ``ClusterStats.leaked_slots``; valid
+        but unleased leftovers (ordinary cached frames) are reclaimed
+        silently without counting.
+
+        The lock is taken with a timeout as a last-ditch hardening: a
+        worker SIGKILLed *inside* the lock's critical section (a window of
+        a few header-word writes, microseconds wide) would orphan the lock
+        forever.  By the time this runs every worker has been joined, so a
+        held lock can only be that orphan — the audit then proceeds
+        without it rather than hanging teardown.
+        """
+        if self._closed:
+            return 0
+        acquired = self._lock.acquire(timeout=1.0)
+        try:
+            leaked = 0
+            for slot in range(self.num_slots):
+                if self._slot_field(slot, _S_STATE) == _EMPTY:
+                    continue
+                if self._slot_field(slot, _S_REFCOUNT) > 0:
+                    leaked += 1
+                self._reclaim_slot(slot)
+            return leaked
+        finally:
+            if acquired:
+                self._lock.release()
+
     def record_local_build(self) -> None:
         """Count a consumer that fell back to a local build (cache miss path)."""
         if self._closed:

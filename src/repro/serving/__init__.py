@@ -11,6 +11,7 @@ from .frame_server import (
     FrameServer,
     FrameServing,
     ServingStats,
+    local_extraction_config,
     percentile_ms,
     stable_frame_id,
 )
@@ -19,6 +20,7 @@ __all__ = [
     "FrameServer",
     "FrameServing",
     "ServingStats",
+    "local_extraction_config",
     "percentile_ms",
     "stable_frame_id",
 ]

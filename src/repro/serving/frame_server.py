@@ -32,7 +32,7 @@ from typing import Iterable, List, Optional, Protocol, Sequence, runtime_checkab
 import numpy as np
 
 from ..config import ExtractorConfig
-from ..errors import ReproError
+from ..errors import JobAttempt, JobFailed, ReproError
 from ..features import ExtractionResult, OrbExtractor
 from ..image import GrayImage
 
@@ -76,6 +76,22 @@ def stable_frame_id(sequence_name: str, frame_index: int) -> int:
         raise ReproError("frame_index exceeds the 32-bit id field")
     sequence_hash = zlib.crc32(sequence_name.encode("utf-8")) & 0x7FFFFFFF
     return (sequence_hash << 32) | frame_index
+
+
+def local_extraction_config(config: ExtractorConfig) -> ExtractorConfig:
+    """``config`` with process-shared resources swapped for in-process ones.
+
+    The cluster's ``degrade_to_local`` shed policy (and any caller that
+    wants a single-process twin of a cluster configuration) cannot use the
+    ``shared`` pyramid provider: it presumes a cross-process cache that the
+    local fallback neither owns nor should attach to.  Swapping it for the
+    ``eager`` provider changes only *where* the pyramid lives — every
+    provider builds bit-identical levels — so local results still match
+    worker results exactly.
+    """
+    if config.pyramid.provider != "shared":
+        return config
+    return config.with_pyramid_provider("eager")
 
 
 @runtime_checkable
@@ -243,7 +259,10 @@ class FrameServer:
 
     # -- serving -----------------------------------------------------------
     def submit(
-        self, image: GrayImage, frame_id: Optional[int] = None
+        self,
+        image: GrayImage,
+        frame_id: Optional[int] = None,
+        deadline_s: Optional[float] = None,
     ) -> "Future[ExtractionResult]":
         """Queue one frame; blocks while ``max_in_flight`` frames are pending.
 
@@ -251,13 +270,24 @@ class FrameServer:
         sequential extraction would produce.  ``frame_id`` keys pyramid
         reuse when the engine's pyramid provider is ``shared`` (several
         servers over one cache extract the same frame with one build).
+        ``deadline_s`` optionally bounds the frame's serving budget: a
+        frame still queued behind the pool when its deadline passes fails
+        with :class:`~repro.errors.JobFailed` instead of being extracted
+        late (checked at extraction start — the thread-server counterpart
+        of the cluster's deadline rule, ``docs/serving.md``).
         """
         if self._closed:
             raise ReproError("FrameServer is closed")
+        if deadline_s is not None and deadline_s <= 0.0:
+            raise ReproError("deadline_s must be positive")
+        submitted_s = time.perf_counter()
+        deadline = submitted_s + deadline_s if deadline_s is not None else None
         self._slots.acquire()
         self.stats._submitted()
         try:
-            future = self._pool.submit(self._extract_one, image, frame_id)
+            future = self._pool.submit(
+                self._extract_one, image, frame_id, deadline, submitted_s
+            )
         except BaseException:
             self.stats._abandoned()
             self._slots.release()
@@ -265,10 +295,26 @@ class FrameServer:
         return future
 
     def _extract_one(
-        self, image: GrayImage, frame_id: Optional[int] = None
+        self,
+        image: GrayImage,
+        frame_id: Optional[int] = None,
+        deadline: Optional[float] = None,
+        submitted_s: Optional[float] = None,
     ) -> ExtractionResult:
         start = time.perf_counter()
         try:
+            if deadline is not None and start > deadline:
+                elapsed = start - (submitted_s if submitted_s is not None else start)
+                raise JobFailed(
+                    "frame deadline expired before extraction started",
+                    (
+                        JobAttempt(
+                            worker_id=-1,
+                            reason="deadline expired in the thread-pool queue",
+                            elapsed_s=elapsed,
+                        ),
+                    ),
+                )
             return self.extractor.extract(image, frame_id=frame_id)
         finally:
             self.stats._completed(time.perf_counter() - start)

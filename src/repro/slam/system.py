@@ -108,6 +108,7 @@ class SlamSystem:
         max_frames: Optional[int] = None,
         frame_server=None,
         frame_ids: Optional[List[int]] = None,
+        frame_deadline_s: Optional[float] = None,
     ) -> SlamRunResult:
         """Run the system over a whole sequence and collect results.
 
@@ -126,6 +127,13 @@ class SlamSystem:
         of ``(sequence.name, frame.index)``, so N systems replaying the
         same sequence against one shared pyramid cache attach to one
         cached pyramid N times instead of building N.
+
+        ``frame_deadline_s`` optionally forwards a per-frame serving
+        budget to servers that support one (``submit(...,
+        deadline_s=...)`` — both shipped servers do): a frame past its
+        budget fails with :class:`repro.errors.JobFailed` instead of
+        being retried or served arbitrarily late (``docs/serving.md`` →
+        Failure semantics).
         """
         result = SlamRunResult(sequence_name=sequence.name)
         frames = [
@@ -151,6 +159,11 @@ class SlamSystem:
         # bounded number of ExtractionResults is ever resident
         pending: deque = deque()
         next_to_submit = 0
+        # only forward the deadline when one was asked for, so any server
+        # satisfying the protocol keeps working without the keyword
+        submit_kwargs = {}
+        if frame_deadline_s is not None:
+            submit_kwargs["deadline_s"] = frame_deadline_s
         for index, rgbd_frame in enumerate(frames):
             extraction = None
             if frame_server is not None:
@@ -160,6 +173,7 @@ class SlamSystem:
                         frame_server.submit(
                             frames[next_to_submit].image,
                             frame_id=frame_ids[next_to_submit],
+                            **submit_kwargs,
                         )
                     )
                     next_to_submit += 1
