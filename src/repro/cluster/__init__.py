@@ -4,7 +4,10 @@
 engine/backend pair, and streams frames to them through
 ``multiprocessing.shared_memory`` ring slots (no pixel pickling) — or, when
 the ``shared`` pyramid provider is active, through the zero-copy
-shared-pyramid fast path that skips the ring write entirely.  It mirrors
+shared-pyramid fast path that skips the ring write entirely.  Results
+return the same way: workers pack each extraction result's flat arrays
+into a :class:`SharedResultRing` slot and the result queues carry only
+tiny descriptors (``docs/serving.md`` → Result transport).  It mirrors
 the thread server's semantics — bounded in-flight back-pressure, in-order
 results, bit-identical extraction — while scaling past the single GIL.
 Placement is pluggable (``round_robin``, ``by_sequence``, load-aware
@@ -28,6 +31,7 @@ from .router import (
     register_policy,
     route_to_alive,
 )
+from .result_ring import ResultRingHandle, RingSlotRef, SharedResultRing
 from .server import ClusterServer, ClusterStats, WorkerStats
 from .shared_ring import SharedFrameRing
 from .supervisor import (
@@ -46,6 +50,9 @@ __all__ = [
     "ClusterStats",
     "WorkerStats",
     "SharedFrameRing",
+    "SharedResultRing",
+    "ResultRingHandle",
+    "RingSlotRef",
     "ShardPolicy",
     "RoundRobinPolicy",
     "BySequencePolicy",

@@ -87,7 +87,9 @@ from ..serving.frame_server import (
     local_extraction_config,
     percentile_ms,
 )
+from ..serving.resultpack import max_packed_nbytes, unpack_result
 from .context import get_mp_context
+from .result_ring import RingSlotRef, SharedResultRing
 from .router import ShardPolicy, WorkerLoad, create_policy, route_to_alive
 from .shared_ring import SharedFrameRing
 from .supervisor import (
@@ -100,7 +102,7 @@ from .supervisor import (
     Supervisor,
     SupervisorConfig,
 )
-from .worker import SHUTDOWN, worker_main
+from .worker import DEFAULT_RESULT_BATCH, SHUTDOWN, worker_main
 
 #: How often the collector wakes to check worker health (seconds).
 _HEALTH_POLL_S = 0.05
@@ -185,7 +187,12 @@ class ClusterStats:
     ``frames_zero_copy`` / ``frames_via_ring`` (which transport carried
     each frame), ``ring_bytes_copied`` (producer-side memcpy volume; zero
     for zero-copy frames) and ``publish_fallbacks`` (shared-pyramid
-    publishes that failed and fell back to the ring).
+    publishes that failed and fell back to the ring).  The return path has
+    its own trio: ``results_zero_copy`` (results collected as packed
+    arrays from the shared result ring), ``results_via_pickle`` (results
+    that rode the queue — no ring configured, range exhausted, or
+    oversized) and ``result_bytes_saved`` (packed bytes that skipped the
+    pickle pipe entirely).
 
     The robustness counters make failure handling observable:
     ``restarts`` (supervised worker respawns), ``requeued`` (jobs moved
@@ -206,6 +213,9 @@ class ClusterStats:
     frames_zero_copy: int = 0
     frames_via_ring: int = 0
     ring_bytes_copied: int = 0
+    results_zero_copy: int = 0
+    results_via_pickle: int = 0
+    result_bytes_saved: int = 0
     restarts: int = 0
     retries: int = 0
     requeued: int = 0
@@ -280,6 +290,15 @@ class ClusterStats:
                 self.ring_bytes_copied += bytes_copied
             if fallback:
                 self.publish_fallbacks += 1
+
+    def _result_transport(self, zero_copy: bool, packed_nbytes: int) -> None:
+        """Record which transport carried one collected result."""
+        with self._lock:
+            if zero_copy:
+                self.results_zero_copy += 1
+                self.result_bytes_saved += packed_nbytes
+            else:
+                self.results_via_pickle += 1
 
     def _requeued(self, victim_id: int, target_id: int, retried: bool) -> None:
         """Move one crashed-worker job's accounting to its new owner."""
@@ -382,6 +401,9 @@ class ClusterStats:
             "frames_zero_copy": self.frames_zero_copy,
             "frames_via_ring": self.frames_via_ring,
             "ring_bytes_copied": self.ring_bytes_copied,
+            "results_zero_copy": self.results_zero_copy,
+            "results_via_pickle": self.results_via_pickle,
+            "result_bytes_saved": self.result_bytes_saved,
             "restarts": self.restarts,
             "retries": self.retries,
             "requeued": self.requeued,
@@ -498,6 +520,26 @@ class ClusterServer:
         A :class:`repro.chaos.FaultPlan` whose scheduled faults (worker
         kills/stalls, publish failures, slow frames) fire synchronously
         inside ``submit`` — the chaos-test entry point.
+    result_transport:
+        ``"ring"`` (default) packs results into a
+        :class:`~repro.cluster.result_ring.SharedResultRing` so the result
+        queues carry only tiny slot descriptors; ``"pickle"`` restores the
+        pre-ring behaviour (whole results pickled through the queue —
+        which also remains the per-result fallback in ``"ring"`` mode).
+    result_batch:
+        Results a worker buffers before forcing a flush (>= 1, default
+        :data:`~repro.cluster.worker.DEFAULT_RESULT_BATCH`); the buffer
+        always flushes when the worker's job queue runs dry, so larger
+        batches trade pipe syscalls against nothing but saturated-phase
+        latency.
+    pyramid_retention_s:
+        With the ``shared`` pyramid provider, keep each frame's published
+        pyramid attachable for this many seconds after its result is
+        collected instead of reclaiming the slot immediately
+        (session-scoped TTL, ``docs/pyramid.md``).  Sequential replays
+        over the same stable frame ids then reuse the cached pyramids
+        (``pyramid_cache_stats()["retained_hits"]``).  Ignored for other
+        providers.
     """
 
     def __init__(
@@ -512,9 +554,21 @@ class ClusterServer:
         elasticity: Optional[ElasticityConfig] = None,
         on_overload: str = "block",
         fault_plan=None,
+        result_transport: str = "ring",
+        result_batch: int = DEFAULT_RESULT_BATCH,
+        pyramid_retention_s: Optional[float] = None,
     ) -> None:
         if num_workers <= 0:
             raise ReproError("num_workers must be positive")
+        if pyramid_retention_s is not None and pyramid_retention_s <= 0.0:
+            raise ReproError("pyramid_retention_s must be positive")
+        if result_transport not in ("ring", "pickle"):
+            raise ReproError(
+                f"result_transport must be 'ring' or 'pickle', not "
+                f"{result_transport!r}"
+            )
+        if result_batch < 1:
+            raise ReproError("result_batch must be >= 1")
         if on_overload not in ("block", "fail_fast", "degrade_to_local"):
             raise ReproError(
                 "on_overload must be one of 'block', 'fail_fast', "
@@ -533,6 +587,8 @@ class ClusterServer:
         self.elasticity = elasticity
         self.on_overload = on_overload
         self.fault_plan = fault_plan
+        self.result_transport = result_transport
+        self.result_batch = int(result_batch)
         self._context = get_mp_context(start_method)
         self._slot_bytes = self.config.image_height * self.config.image_width
         self._ring = SharedFrameRing(self.max_in_flight, self._slot_bytes)
@@ -542,7 +598,10 @@ class ClusterServer:
         # fallback (docs/pyramid.md)
         self._pyramid_cache = (
             SharedPyramidCache.create(
-                self.config, num_slots=self.max_in_flight, context=self._context
+                self.config,
+                num_slots=self.max_in_flight,
+                context=self._context,
+                retention_s=pyramid_retention_s,
             )
             if self.config.pyramid.provider == "shared"
             else None
@@ -559,6 +618,28 @@ class ClusterServer:
         # false kill only costs a retry, never a wrong result)
         self._heartbeats = self._context.Array("d", capacity, lock=False)
         self._worker_capacity = capacity
+        # result ring: one slot range per worker slot (elastic capacity
+        # included, like the heartbeat board).  A range holds enough slots
+        # for a full unflushed batch plus the dispatch window that can be
+        # in flight ahead of the collector; a momentarily exhausted range
+        # just falls back to pickling that result.
+        self._result_ring = (
+            SharedResultRing(
+                capacity,
+                self.result_batch + DISPATCH_DEPTH + 2,
+                max_packed_nbytes(self.config),
+            )
+            if result_transport == "ring"
+            else None
+        )
+        self._result_ring_handle = (
+            self._result_ring.handle() if self._result_ring is not None else None
+        )
+        # makes "dequeue one result message + fold it" atomic, so when a
+        # worker dies the death handler can drain its queue to empty and
+        # know no stale descriptor into the dead range is still in flight
+        # on the collector thread (see _on_worker_exit)
+        self._collect_lock = threading.Lock()
         self.stats = ClusterStats(
             workers=[WorkerStats(worker_id=index) for index in range(num_workers)]
         )
@@ -619,6 +700,8 @@ class ClusterServer:
                 any_queue.close()
                 any_queue.cancel_join_thread()
             self._ring.close()
+            if self._result_ring is not None:
+                self._result_ring.close()
             if self._pyramid_cache is not None:
                 self._pyramid_cache.close()
             raise
@@ -648,6 +731,8 @@ class ClusterServer:
                 result_queue,
                 self._pyramid_handle,
                 self._heartbeats,
+                self._result_ring_handle,
+                self.result_batch,
             ),
             name=f"cluster-worker-{worker_id}",
             daemon=True,
@@ -1100,14 +1185,18 @@ class ClusterServer:
             drained_any = False
             for result_queue in queues:
                 while True:
-                    try:
-                        message = result_queue.get_nowait()
-                    except queue_module.Empty:
-                        break
-                    except (EOFError, OSError, ValueError):
-                        break  # queue torn down (close, or crashed worker)
-                    drained_any = True
-                    self._fold_result_batch(message)
+                    # dequeue + fold under one lock: a death handler that
+                    # sees this queue empty knows no descriptor from it is
+                    # still being folded (range reclaim safety)
+                    with self._collect_lock:
+                        try:
+                            message = result_queue.get_nowait()
+                        except queue_module.Empty:
+                            break
+                        except (EOFError, OSError, ValueError):
+                            break  # queue torn down (close, or crashed worker)
+                        drained_any = True
+                        self._fold_result_batch(message)
             if drained_any:
                 continue
             if self._closed and not self._pending:
@@ -1119,6 +1208,29 @@ class ClusterServer:
             except (AttributeError, OSError, ValueError):
                 time.sleep(_HEALTH_POLL_S)
 
+    def _drain_worker_result_queue(self, worker_id: int) -> None:
+        """Fold everything a (dead) worker's result queue still holds.
+
+        Each dequeue+fold is atomic under ``_collect_lock`` — shared with
+        the collector sweep — so when this returns on ``Empty`` no message
+        from the queue is mid-fold anywhere: results the worker flushed
+        before dying have completed their futures and returned their ring
+        slots, and the caller may safely force-reclaim the range.  (A
+        SIGKILL mid-put can truncate the stream; the unreadable remainder
+        surfaces as an error below and the jobs it carried are simply
+        requeued like any other loss.)
+        """
+        while True:
+            with self._collect_lock:
+                result_queue = self._result_queues[worker_id]
+                try:
+                    message = result_queue.get_nowait()
+                except queue_module.Empty:
+                    return
+                except (EOFError, OSError, ValueError):
+                    return  # torn stream (killed mid-put / queue closed)
+                self._fold_result_batch(message)
+
     def _fold_result_batch(self, message) -> None:
         worker_id, batch = message
         with self._dispatch_cv:
@@ -1127,12 +1239,16 @@ class ClusterServer:
                 0, self._dispatched[worker_id] - len(batch)
             )
             self._dispatch_cv.notify_all()
-        for job_id, result, latency_s, error in batch:
+        for job_id, payload, latency_s, error in batch:
             with self._lock:
                 job = self._pending.pop(job_id, None)
             if job is None:
-                continue  # failed/expired earlier, or a pre-requeue
-                # duplicate from a worker that flushed before dying
+                # failed/expired earlier, or a pre-requeue duplicate from
+                # a worker that flushed before dying — but a packed slot
+                # must return to its range either way
+                if isinstance(payload, RingSlotRef):
+                    self._result_ring.free(payload.slot)
+                continue
             # account the completion BEFORE freeing transport resources
             # and the admission slot: a producer blocked on admission
             # must not see the window shrink before the in-flight
@@ -1140,6 +1256,16 @@ class ClusterServer:
             # accounting target is the job's CURRENT owner — after a
             # steal or crash requeue that is where its queue_depth sits.
             if error is None:
+                if isinstance(payload, RingSlotRef):
+                    # one memcpy out of the shared slot, then the slot is
+                    # immediately reusable by its worker
+                    packed = self._result_ring.slot_view(payload.slot)
+                    result = unpack_result(packed[: payload.nbytes])
+                    self._result_ring.free(payload.slot)
+                    self.stats._result_transport(True, payload.nbytes)
+                else:
+                    result = payload
+                    self.stats._result_transport(False, 0)
                 self.stats._completed(job.worker_id, latency_s)
                 self._release_job_resources(job)
                 self._release_admission()
@@ -1210,6 +1336,12 @@ class ClusterServer:
         """
         now = time.perf_counter()
         reason = reason or f"died (exit code {exitcode})"
+        # Fold whatever the dead worker flushed before dying FIRST: those
+        # futures complete (no wasted recompute), their ring slots free,
+        # and — because dequeue+fold is atomic — once the queue reads
+        # empty no descriptor into the dead range is in flight anywhere.
+        # The process is already joined, so the queue gains nothing more.
+        self._drain_worker_result_queue(worker_id)
         failures: List[Tuple[_PendingJob, Exception]] = []
         with self._dispatch_cv:
             with self._lock:
@@ -1231,6 +1363,13 @@ class ClusterServer:
                     del self._pending[job_id]
                 self._backlogs[worker_id].clear()
                 self._dispatched[worker_id] = 0
+                if self._result_ring is not None:
+                    # force-reclaim the dead range (mirrors pyramid leak
+                    # handling): the drain above proved no descriptor into
+                    # it survives, and a respawn cannot begin before this
+                    # block publishes the DEAD state, so the reclaim can
+                    # never race a replacement worker's claims
+                    self._result_ring.reclaim_range(worker_id)
                 for job_id, job in doomed:
                     if not supervised:
                         failures.append(
@@ -1725,9 +1864,16 @@ class ClusterServer:
         leaked = self._ring.in_flight()
         if self._pyramid_cache is not None:
             leaked += self._pyramid_cache.reclaim_leaked()
+        if self._result_ring is not None:
+            # every crash already reclaimed its range synchronously, so a
+            # slot still claimed here lost its descriptor without a crash
+            # — a genuine leak
+            leaked += self._result_ring.in_use()
         if leaked:
             self.stats._leaked(leaked)
         self._ring.close()
+        if self._result_ring is not None:
+            self._result_ring.close()
         if self._pyramid_cache is not None:
             self._pyramid_cache.close()
 

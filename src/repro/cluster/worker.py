@@ -21,10 +21,23 @@ Two transports feed a worker, decided per frame by the producer:
   shared pages — **no frame bytes were copied into the ring at all**
   (``docs/pyramid.md``).
 
-Only the small extraction results (retained features + profile) travel back
-through the result queue, buffered per worker and flushed as ONE queue put
-when the batch fills or the job queue runs dry, cutting pipe syscalls at
-high frame rates without delaying results while the worker is idle.
+Results leave the worker through two transports, decided per result:
+
+* **result ring** (default) — the worker packs the result's flat arrays
+  straight into its own range of the
+  :class:`~repro.cluster.result_ring.SharedResultRing`
+  (:mod:`repro.serving.resultpack` layout) and the batch entry carries only
+  a tiny :class:`~repro.cluster.result_ring.RingSlotRef`;
+* **pickle fallback** — when no ring is configured, the worker's range is
+  momentarily exhausted, or a result outgrows its slot, the
+  :class:`~repro.features.ExtractionResult` itself rides the queue exactly
+  as before the ring existed.
+
+Either way batch entries are buffered per worker and flushed as ONE queue
+put when the batch fills (``result_batch`` entries, a
+:class:`~repro.cluster.server.ClusterServer` knob) or the job queue runs
+dry, cutting pipe syscalls at high frame rates without delaying results
+while the worker is idle.
 
 Robustness plumbing (``docs/serving.md`` → Failure semantics): workers
 ignore ``SIGINT`` so a Ctrl-C aimed at the parent never kills the pool out
@@ -48,10 +61,11 @@ from multiprocessing import shared_memory
 #: Control message closing a worker's job queue (graceful drain).
 SHUTDOWN = None
 
-#: Results buffered per worker before a flush is forced.  The buffer also
-#: flushes whenever the job queue is momentarily empty, so batching only
-#: coalesces puts while the worker is saturated and never adds idle latency.
-RESULT_BATCH_MAX = 8
+#: Default for ``ClusterServer(result_batch=)``: results buffered per worker
+#: before a flush is forced.  The buffer also flushes whenever the job queue
+#: is momentarily empty, so batching only coalesces puts while the worker is
+#: saturated and never adds idle latency.
+DEFAULT_RESULT_BATCH = 8
 
 #: How often a parked worker refreshes its heartbeat while waiting for work.
 HEARTBEAT_INTERVAL_S = 0.5
@@ -66,15 +80,21 @@ def worker_main(
     result_queue,
     pyramid_handle=None,
     heartbeat=None,
+    result_ring_handle=None,
+    result_batch: int = DEFAULT_RESULT_BATCH,
 ) -> None:
     """Consume frame jobs until the shutdown sentinel arrives.
 
     Result messages are ``(worker_id, batch)`` where ``batch`` is a list of
-    ``(job_id, result, latency_s, error)`` entries (exactly one of
-    ``result`` / ``error`` set per entry).  Neither the ring slot nor the
-    cache pin is echoed back: the server tracks both per job and frees them
-    when the result (or failure) is collected, which guarantees the worker
-    has finished reading the shared pages before they are reused.
+    ``(job_id, payload, latency_s, error)`` entries (exactly one of
+    ``payload`` / ``error`` set per entry).  ``payload`` is a
+    :class:`~repro.cluster.result_ring.RingSlotRef` when the result was
+    packed into the shared result ring, else the
+    :class:`~repro.features.ExtractionResult` itself (pickle fallback).
+    Neither the frame ring slot nor the cache pin is echoed back: the
+    server tracks both per job and frees them when the result (or failure)
+    is collected, which guarantees the worker has finished reading the
+    shared pages before they are reused.
 
     ``heartbeat`` is an optional shared double array indexed by worker id;
     the worker stamps ``time.monotonic()`` into its slot between jobs so
@@ -88,9 +108,12 @@ def worker_main(
 
     # Imports happen inside the worker so the ``spawn`` start method pays
     # them here rather than pickling live engine objects.
+    from ..errors import ReproError
     from ..features import OrbExtractor
     from ..image import GrayImage
     from ..pyramid import SharedPyramidCache
+    from ..serving.resultpack import pack_into
+    from .result_ring import RingSlotRef, SharedResultRing
     from .shared_ring import attach_slot_view
 
     # Attaching re-registers the segment with the resource tracker the
@@ -102,7 +125,34 @@ def worker_main(
         if pyramid_handle is not None
         else None
     )
+    result_ring = (
+        SharedResultRing.attach(result_ring_handle)
+        if result_ring_handle is not None
+        else None
+    )
     pending = []
+
+    def pack_payload(result):
+        """Pack one result into this worker's ring range, or fall back.
+
+        The fallback (carry the result object itself, pickled by the
+        queue) covers both an exhausted range — flushed descriptors the
+        collector has not folded yet — and a result that outgrows its
+        slot; correctness never depends on ring capacity.
+        """
+        if result_ring is None:
+            return result
+        slot = result_ring.try_claim(worker_id)
+        if slot is None:
+            return result
+        try:
+            nbytes = pack_into(result, result_ring.slot_view(slot))
+        except ReproError:
+            # no descriptor was ever enqueued for this slot, so the server
+            # cannot be racing this flag word: un-claiming here is safe
+            result_ring.free(slot)
+            return result
+        return RingSlotRef(slot, nbytes)
 
     def beat() -> None:
         if heartbeat is not None:
@@ -166,14 +216,16 @@ def worker_main(
                     pixels = attach_slot_view(shm, slot, slot_bytes, height, width)
                     result = extractor.extract(GrayImage(pixels), frame_id=key)
                 latency = time.perf_counter() - start
-                pending.append((job_id, result, latency, None))
+                pending.append((job_id, pack_payload(result), latency, None))
             except Exception as error:  # surface, don't kill the worker
                 latency = time.perf_counter() - start
                 pending.append((job_id, None, latency, repr(error)))
             beat()
-            if len(pending) >= RESULT_BATCH_MAX:
+            if len(pending) >= result_batch:
                 flush()
     finally:
         if pyramid_cache is not None:
             pyramid_cache.close()
+        if result_ring is not None:
+            result_ring.close()
         shm.close()

@@ -78,6 +78,99 @@ class ExtractionProfile:
 
 
 @dataclass
+class FeatureArrays:
+    """The retained feature set as dense, contiguous arrays (length ``N``).
+
+    This is the wire-format view of an :class:`ExtractionResult`: every
+    per-:class:`~repro.features.keypoint.Feature` attribute flattened into
+    one array, so a result can be packed into flat buffers
+    (:mod:`repro.serving.resultpack`), shipped across a process boundary
+    without pickling, and rebuilt bit-identical on the other side.
+    ``orientation_bins`` uses ``-1`` and ``orientation_rads`` uses ``NaN``
+    for features whose orientation was never computed.
+    """
+
+    descriptors: np.ndarray  # (N, D) uint8 descriptor bytes
+    levels: np.ndarray  # (N,) int64 pyramid level
+    xs: np.ndarray  # (N,) int64 level-local x
+    ys: np.ndarray  # (N,) int64 level-local y
+    scores: np.ndarray  # (N,) float64 Harris score
+    orientation_bins: np.ndarray  # (N,) int64, -1 = not computed
+    orientation_rads: np.ndarray  # (N,) float64, NaN = not computed
+    x0: np.ndarray  # (N,) float64 level-0 x
+    y0: np.ndarray  # (N,) float64 level-0 y
+
+    def __len__(self) -> int:
+        return int(self.descriptors.shape[0])
+
+    @classmethod
+    def from_features(cls, features: List[Feature]) -> "FeatureArrays":
+        """Flatten per-feature objects into dense arrays."""
+        if not features:
+            return cls.empty()
+        return cls(
+            descriptors=np.stack([f.descriptor for f in features]),
+            levels=np.array([f.keypoint.level for f in features], dtype=np.int64),
+            xs=np.array([f.keypoint.x for f in features], dtype=np.int64),
+            ys=np.array([f.keypoint.y for f in features], dtype=np.int64),
+            scores=np.array([f.score for f in features], dtype=np.float64),
+            orientation_bins=np.array(
+                [
+                    -1 if f.keypoint.orientation_bin is None else f.keypoint.orientation_bin
+                    for f in features
+                ],
+                dtype=np.int64,
+            ),
+            orientation_rads=np.array(
+                [
+                    np.nan if f.keypoint.orientation_rad is None else f.keypoint.orientation_rad
+                    for f in features
+                ],
+                dtype=np.float64,
+            ),
+            x0=np.array([f.x0 for f in features], dtype=np.float64),
+            y0=np.array([f.y0 for f in features], dtype=np.float64),
+        )
+
+    @classmethod
+    def empty(cls, descriptor_width: int = 32) -> "FeatureArrays":
+        return cls(
+            descriptors=np.zeros((0, descriptor_width), dtype=np.uint8),
+            levels=np.zeros(0, dtype=np.int64),
+            xs=np.zeros(0, dtype=np.int64),
+            ys=np.zeros(0, dtype=np.int64),
+            scores=np.zeros(0, dtype=np.float64),
+            orientation_bins=np.zeros(0, dtype=np.int64),
+            orientation_rads=np.zeros(0, dtype=np.float64),
+            x0=np.zeros(0, dtype=np.float64),
+            y0=np.zeros(0, dtype=np.float64),
+        )
+
+    def build_features(self) -> List[Feature]:
+        """Materialise per-feature objects, bit-identical to the originals."""
+        features = []
+        for index in range(len(self)):
+            bin_value = int(self.orientation_bins[index])
+            rad_value = float(self.orientation_rads[index])
+            keypoint = Keypoint(
+                x=int(self.xs[index]),
+                y=int(self.ys[index]),
+                score=float(self.scores[index]),
+                level=int(self.levels[index]),
+                orientation_bin=None if bin_value < 0 else bin_value,
+                orientation_rad=None if np.isnan(rad_value) else rad_value,
+            )
+            features.append(
+                Feature(
+                    keypoint=keypoint,
+                    descriptor=self.descriptors[index],
+                    x0=float(self.x0[index]),
+                    y0=float(self.y0[index]),
+                )
+            )
+        return features
+
+
 class ExtractionResult:
     """Features extracted from one image plus the associated profile.
 
@@ -85,19 +178,85 @@ class ExtractionResult:
     dense arrays (descriptor matrix, level-0 coordinates, scores, levels)
     which the SLAM front-end consumes directly on its hot path; the arrays
     are built once on first access and cached.
+
+    A result can be constructed either from per-feature objects (the
+    extractor path) or **arrays-first** via :meth:`from_arrays` (the
+    zero-copy result transport, :mod:`repro.serving.resultpack`).  In the
+    arrays-first form the ``features`` list is built lazily on first
+    access, so consumers that only read the dense arrays — the
+    server→:class:`~repro.slam.tracker.Tracker` hot path — never pay for
+    materialising ``N`` :class:`~repro.features.keypoint.Feature` objects
+    at all.
     """
 
-    features: List[Feature]
-    profile: ExtractionProfile
-    # lazily built caches: excluded from __eq__/__repr__ so comparing or
-    # printing results never trips over ndarray truthiness
-    _descriptors: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
-    _keypoints_xy: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
-    _scores: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
-    _levels: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
+    def __init__(
+        self,
+        features: Optional[List[Feature]] = None,
+        profile: Optional[ExtractionProfile] = None,
+        arrays: Optional[FeatureArrays] = None,
+    ) -> None:
+        if (features is None) == (arrays is None):
+            raise ValueError(
+                "ExtractionResult takes exactly one of features= or arrays="
+            )
+        if profile is None:
+            raise ValueError("ExtractionResult requires a profile")
+        self._features = features
+        self._arrays = arrays
+        self.profile = profile
+        # lazily built array caches (features-backed results only)
+        self._descriptors: Optional[np.ndarray] = None
+        self._keypoints_xy: Optional[np.ndarray] = None
+        self._scores: Optional[np.ndarray] = None
+        self._levels: Optional[np.ndarray] = None
+
+    @classmethod
+    def from_arrays(
+        cls, arrays: FeatureArrays, profile: ExtractionProfile
+    ) -> "ExtractionResult":
+        """Arrays-first constructor: per-feature objects are built lazily."""
+        return cls(profile=profile, arrays=arrays)
+
+    @property
+    def features(self) -> List[Feature]:
+        """The retained features as objects (materialised lazily)."""
+        if self._features is None:
+            self._features = self._arrays.build_features()
+        return self._features
+
+    @property
+    def feature_count(self) -> int:
+        """Number of retained features, without materialising them."""
+        if self._features is not None:
+            return len(self._features)
+        return len(self._arrays)
+
+    def feature_arrays(self) -> FeatureArrays:
+        """The retained set as dense arrays (built once, cached)."""
+        if self._arrays is None:
+            self._arrays = FeatureArrays.from_features(self._features)
+        return self._arrays
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ExtractionResult):
+            return NotImplemented
+        # feature_records() is the repo-wide bit-identity key; comparing
+        # Feature objects directly would trip over ndarray truthiness
+        return (
+            self.feature_records() == other.feature_records()
+            and self.profile == other.profile
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ExtractionResult(feature_count={self.feature_count}, "
+            f"profile={self.profile!r})"
+        )
 
     def descriptor_matrix(self) -> np.ndarray:
         """Return all descriptors stacked as an ``(N, 32)`` uint8 matrix."""
+        if self._arrays is not None:
+            return self._arrays.descriptors
         if self._descriptors is None:
             if not self.features:
                 self._descriptors = np.zeros((0, 32), dtype=np.uint8)
@@ -108,7 +267,11 @@ class ExtractionResult:
     def keypoint_array(self) -> np.ndarray:
         """Return level-0 keypoint coordinates as an ``(N, 2)`` float array."""
         if self._keypoints_xy is None:
-            if not self.features:
+            if self._arrays is not None:
+                self._keypoints_xy = np.column_stack(
+                    (self._arrays.x0, self._arrays.y0)
+                )
+            elif not self.features:
                 self._keypoints_xy = np.zeros((0, 2), dtype=np.float64)
             else:
                 self._keypoints_xy = np.array(
@@ -118,12 +281,16 @@ class ExtractionResult:
 
     def score_array(self) -> np.ndarray:
         """Harris scores of the retained features, ``(N,)`` float64."""
+        if self._arrays is not None:
+            return self._arrays.scores
         if self._scores is None:
             self._scores = np.array([f.score for f in self.features], dtype=np.float64)
         return self._scores
 
     def level_array(self) -> np.ndarray:
         """Pyramid level of each retained feature, ``(N,)`` int64."""
+        if self._arrays is not None:
+            return self._arrays.levels
         if self._levels is None:
             self._levels = np.array(
                 [f.keypoint.level for f in self.features], dtype=np.int64

@@ -25,6 +25,7 @@ reads them from the parent.
 from __future__ import annotations
 
 import multiprocessing
+import time
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from typing import Dict, List, Optional, Tuple
@@ -44,11 +45,30 @@ from ..image.pyramid import PyramidLevel
 from .base import PyramidProvider, register_provider
 
 # header layout (int64 words): global counters, then per-slot records
-_GLOBAL_WORDS = 6
-_HITS, _MISSES, _PUBLISHES, _EVICTIONS, _LOCAL_BUILDS, _SEQ = range(_GLOBAL_WORDS)
-_SLOT_WORDS = 6
-_S_FRAME, _S_REFCOUNT, _S_STATE, _S_HEIGHT, _S_WIDTH, _S_SEQ = range(_SLOT_WORDS)
-_EMPTY, _VALID, _RETIRED, _PENDING = 0, 1, 2, 3
+_GLOBAL_WORDS = 7
+(
+    _HITS,
+    _MISSES,
+    _PUBLISHES,
+    _EVICTIONS,
+    _LOCAL_BUILDS,
+    _SEQ,
+    _RETAINED_HITS,
+) = range(_GLOBAL_WORDS)
+_SLOT_WORDS = 7
+(
+    _S_FRAME,
+    _S_REFCOUNT,
+    _S_STATE,
+    _S_HEIGHT,
+    _S_WIDTH,
+    _S_SEQ,
+    _S_EXPIRY,
+) = range(_SLOT_WORDS)
+# RETAINED: retired under a retention TTL — still attachable (revived to
+# VALID, counted as a retained hit) until the expiry passes or the slot is
+# needed for a new publish
+_EMPTY, _VALID, _RETIRED, _PENDING, _RETAINED = 0, 1, 2, 3, 4
 _NO_FRAME = -1
 
 
@@ -119,10 +139,12 @@ class SharedPyramidCache:
         slot_bytes: int,
         pyramid_config: PyramidConfig,
         owner: bool,
+        retention_s: Optional[float] = None,
     ) -> None:
         self.num_slots = num_slots
         self.slot_bytes = slot_bytes
         self.pyramid_config = pyramid_config
+        self.retention_s = retention_s
         self._shm = shm
         self._lock = lock
         self._owner = owner
@@ -140,10 +162,23 @@ class SharedPyramidCache:
         config: ExtractorConfig,
         num_slots: int = 4,
         context=None,
+        retention_s: Optional[float] = None,
     ) -> "SharedPyramidCache":
-        """Owner-side cache sized for ``num_slots`` frames of ``config`` shape."""
+        """Owner-side cache sized for ``num_slots`` frames of ``config`` shape.
+
+        ``retention_s`` turns :meth:`retire` into a session-scoped TTL:
+        instead of reclaiming a frame's slot the moment its last lease is
+        back, the slot is kept attachable for ``retention_s`` seconds, so
+        sequential replays over the same stable frame ids (multi-engine
+        comparisons, evaluation re-runs) reuse the published pyramid
+        instead of rebuilding it.  Retained frames never block new work —
+        a publish that needs the space evicts them like any other
+        unreferenced entry.
+        """
         if num_slots <= 0:
             raise ImageError("pyramid cache needs at least one slot")
+        if retention_s is not None and retention_s <= 0.0:
+            raise ImageError("pyramid retention_s must be positive")
         slot_bytes = pyramid_slot_bytes(config)
         header_words = _GLOBAL_WORDS + _SLOT_WORDS * num_slots
         data_offset = ((header_words * 8 + 63) // 64) * 64
@@ -151,7 +186,15 @@ class SharedPyramidCache:
             create=True, size=data_offset + num_slots * slot_bytes
         )
         context = context or multiprocessing.get_context()
-        cache = cls(shm, context.Lock(), num_slots, slot_bytes, config.pyramid, owner=True)
+        cache = cls(
+            shm,
+            context.Lock(),
+            num_slots,
+            slot_bytes,
+            config.pyramid,
+            owner=True,
+            retention_s=retention_s,
+        )
         cache._header[:] = 0
         for slot in range(num_slots):
             cache._slot_field_set(slot, _S_FRAME, _NO_FRAME)
@@ -215,6 +258,30 @@ class SharedPyramidCache:
         self._slot_field_set(slot, _S_STATE, _EMPTY)
         self._slot_field_set(slot, _S_FRAME, _NO_FRAME)
         self._slot_field_set(slot, _S_REFCOUNT, 0)
+        self._slot_field_set(slot, _S_EXPIRY, 0)
+
+    def _retained_expired(self, slot: int) -> bool:
+        """True when a RETAINED slot's TTL has passed (caller holds lock).
+
+        Expiries are ``monotonic_ns`` deadlines — CLOCK_MONOTONIC is
+        system-wide on the platforms we run on, so attached processes
+        agree on them.
+        """
+        return time.monotonic_ns() >= self._slot_field(slot, _S_EXPIRY)
+
+    def _revive_retained(self, slot: int) -> bool:
+        """Flip one RETAINED slot back to VALID for reuse (caller holds lock).
+
+        Returns False — after reclaiming the slot — when the TTL already
+        expired.  A revived frame behaves exactly like a freshly published
+        one: the next retire re-retains it with a fresh deadline.
+        """
+        if self._retained_expired(slot):
+            self._reclaim_slot(slot)
+            return False
+        self._slot_field_set(slot, _S_STATE, _VALID)
+        self._header[_RETAINED_HITS] += 1
+        return True
 
     # -- cache operations --------------------------------------------------
     def publish(self, frame_id: int, pixels: np.ndarray) -> bool:
@@ -238,8 +305,16 @@ class SharedPyramidCache:
         if sum(h * w for h, w in shapes) > self.slot_bytes:
             return False
         with self._lock:
-            if self._find_slot(frame_id) is not None:
-                return True  # another consumer already published this frame
+            existing = self._find_slot(frame_id)
+            if existing is not None:
+                if self._slot_field(
+                    existing, _S_STATE
+                ) == _RETAINED and self._retained_expired(existing):
+                    # a stale retained copy of this frame: reclaim it and
+                    # republish fresh below
+                    self._reclaim_slot(existing)
+                else:
+                    return True  # already published (or retained, still fresh)
             slot = None
             oldest_seq = None
             evicting = False
@@ -248,7 +323,16 @@ class SharedPyramidCache:
                 if state == _EMPTY:
                     slot, evicting = candidate, False
                     break
-                if state == _VALID and self._slot_field(candidate, _S_REFCOUNT) == 0:
+                if state == _RETAINED and self._retained_expired(candidate):
+                    # lapsed TTL: as good as empty, and preferable to
+                    # evicting an entry that is still useful
+                    self._reclaim_slot(candidate)
+                    slot, evicting = candidate, False
+                    break
+                if (
+                    state in (_VALID, _RETAINED)
+                    and self._slot_field(candidate, _S_REFCOUNT) == 0
+                ):
                     seq = self._slot_field(candidate, _S_SEQ)
                     if oldest_seq is None or seq < oldest_seq:
                         slot, oldest_seq, evicting = candidate, seq, True
@@ -286,6 +370,9 @@ class SharedPyramidCache:
         self._ensure_open()
         with self._lock:
             slot = self._find_slot(frame_id)
+            if slot is not None and self._slot_field(slot, _S_STATE) == _RETAINED:
+                if not self._revive_retained(slot):
+                    slot = None  # TTL lapsed between retire and this attach
             if slot is None or self._slot_field(slot, _S_STATE) != _VALID:
                 self._header[_MISSES] += 1
                 return None
@@ -318,6 +405,9 @@ class SharedPyramidCache:
         self._ensure_open()
         with self._lock:
             slot = self._find_slot(frame_id)
+            if slot is not None and self._slot_field(slot, _S_STATE) == _RETAINED:
+                if not self._revive_retained(slot):
+                    slot = None  # TTL lapsed between retire and this pin
             if slot is None or self._slot_field(slot, _S_STATE) != _VALID:
                 return None
             self._slot_field_set(
@@ -346,6 +436,11 @@ class SharedPyramidCache:
         The cluster server retires a frame once its result is collected
         (the worker has released by then); ``force`` handles crashed
         workers whose leases can never come back.
+
+        With a session ``retention_s`` (see :meth:`create`), a non-forced
+        retire of a fully released, valid frame keeps the slot RETAINED
+        under a fresh TTL instead of reclaiming it, so a replay of the
+        same frame id revives the published pyramid (``retained_hits``).
         """
         if self._closed:
             return
@@ -356,7 +451,19 @@ class SharedPyramidCache:
             if force:
                 self._slot_field_set(slot, _S_REFCOUNT, 0)
             if self._slot_field(slot, _S_REFCOUNT) == 0:
-                self._reclaim_slot(slot)
+                if (
+                    not force
+                    and self.retention_s is not None
+                    and self._slot_field(slot, _S_STATE) == _VALID
+                ):
+                    self._slot_field_set(slot, _S_STATE, _RETAINED)
+                    self._slot_field_set(
+                        slot,
+                        _S_EXPIRY,
+                        time.monotonic_ns() + int(self.retention_s * 1e9),
+                    )
+                else:
+                    self._reclaim_slot(slot)
             else:
                 self._slot_field_set(slot, _S_STATE, _RETIRED)
 
@@ -428,6 +535,7 @@ class SharedPyramidCache:
                 "publishes": int(self._header[_PUBLISHES]),
                 "evictions": int(self._header[_EVICTIONS]),
                 "local_builds": int(self._header[_LOCAL_BUILDS]),
+                "retained_hits": int(self._header[_RETAINED_HITS]),
                 "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
                 "num_slots": self.num_slots,
                 "slots_in_use": sum(

@@ -15,12 +15,26 @@ from .frame_server import (
     percentile_ms,
     stable_frame_id,
 )
+from .resultpack import (
+    RESULT_PACK_MAGIC,
+    max_packed_nbytes,
+    pack_into,
+    pack_result,
+    packed_nbytes,
+    unpack_result,
+)
 
 __all__ = [
     "FrameServer",
     "FrameServing",
+    "RESULT_PACK_MAGIC",
     "ServingStats",
     "local_extraction_config",
+    "max_packed_nbytes",
+    "pack_into",
+    "pack_result",
+    "packed_nbytes",
     "percentile_ms",
     "stable_frame_id",
+    "unpack_result",
 ]

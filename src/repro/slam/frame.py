@@ -27,10 +27,13 @@ class Frame:
     image: GrayImage
     depth: np.ndarray
     camera: PinholeCamera
-    features: List[Feature] = field(default_factory=list)
     extraction: Optional[ExtractionResult] = None
     pose: Optional[Pose] = None  # world-to-camera, set by the tracker
     is_keyframe: bool = False
+    # materialised lazily from ``extraction`` — the tracking hot path only
+    # touches the dense arrays, so an arrays-first extraction result (the
+    # cluster's packed result transport) never builds Feature objects here
+    _features: Optional[List[Feature]] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         depth = np.asarray(self.depth, dtype=np.float64)
@@ -47,11 +50,34 @@ class Frame:
     def set_features(self, extraction: ExtractionResult) -> None:
         """Attach the result of ORB extraction to this frame."""
         self.extraction = extraction
-        self.features = list(extraction.features)
+        self._features = None
+
+    @property
+    def features(self) -> List[Feature]:
+        """Per-feature objects, materialised on first access."""
+        if self._features is None:
+            self._features = (
+                list(self.extraction.features) if self.extraction is not None else []
+            )
+        return self._features
+
+    @property
+    def feature_count(self) -> int:
+        """Number of features, without materialising Feature objects."""
+        if self._features is not None:
+            return len(self._features)
+        return self.extraction.feature_count if self.extraction is not None else 0
+
+    def _extraction_arrays_current(self) -> bool:
+        """True while the extraction's arrays still describe ``features``."""
+        return self.extraction is not None and (
+            self._features is None
+            or len(self._features) == self.extraction.feature_count
+        )
 
     def descriptor_matrix(self) -> np.ndarray:
         """Stack feature descriptors as an ``(N, 32)`` uint8 matrix."""
-        if self.extraction is not None and len(self.extraction.features) == len(self.features):
+        if self._extraction_arrays_current():
             return self.extraction.descriptor_matrix()
         if not self.features:
             return np.zeros((0, 32), dtype=np.uint8)
@@ -59,7 +85,7 @@ class Frame:
 
     def keypoint_pixels(self) -> np.ndarray:
         """Level-0 pixel coordinates of all features, ``(N, 2)``."""
-        if self.extraction is not None and len(self.extraction.features) == len(self.features):
+        if self._extraction_arrays_current():
             return self.extraction.keypoint_array()
         if not self.features:
             return np.zeros((0, 2), dtype=np.float64)

@@ -224,6 +224,70 @@ class TestRestartUnderZeroCopy:
         assert server.stats.as_dict()["leaked_slots"] == 0
 
 
+class TestResultRingUnderChaos:
+    """The result ring's own acceptance gate: kill storms with the
+    zero-copy return path enabled leak no result slots and change no bits."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_kill_storm_with_ring_leaves_zero_leaked_result_slots(
+        self, engine, chaos_config, chaos_images
+    ):
+        config = replace(chaos_config, frontend=engine, backend=engine)
+        baseline = _sequential_baseline(config, chaos_images)
+        plan = FaultPlan.storm(
+            frames=len(chaos_images), every=4, num_workers=2, seed=29
+        )
+        server = ClusterServer(
+            config,
+            num_workers=2,
+            supervision=FAST_SUPERVISION,
+            fault_plan=plan,
+            result_transport="ring",
+        )
+        with server:
+            futures = [
+                server.submit(image, frame_id=index)
+                for index, image in enumerate(chaos_images)
+            ]
+            served = [_feature_key(f.result(timeout=120)) for f in futures]
+            # every collected result freed its slot, and every slot a dead
+            # worker left claimed was force-reclaimed at death — the ring
+            # is already empty before the close-time audit even runs
+            assert server._result_ring.in_use() == 0
+        assert served == baseline  # bit-identical AND in submission order
+        report = server.stats.as_dict()
+        assert report["frames_failed"] == 0
+        # descriptors flushed before each kill still completed zero-copy
+        assert report["results_zero_copy"] > 0
+        assert report["leaked_slots"] == 0
+
+    def test_pickle_transport_survives_the_same_storm(
+        self, chaos_config, chaos_images
+    ):
+        baseline = _sequential_baseline(chaos_config, chaos_images)
+        plan = FaultPlan.storm(
+            frames=len(chaos_images), every=4, num_workers=2, seed=29
+        )
+        server = ClusterServer(
+            chaos_config,
+            num_workers=2,
+            supervision=FAST_SUPERVISION,
+            fault_plan=plan,
+            result_transport="pickle",
+        )
+        with server:
+            futures = [
+                server.submit(image, frame_id=index)
+                for index, image in enumerate(chaos_images)
+            ]
+            served = [_feature_key(f.result(timeout=120)) for f in futures]
+        assert served == baseline
+        report = server.stats.as_dict()
+        assert report["results_zero_copy"] == 0
+        assert report["results_via_pickle"] >= len(chaos_images)
+        assert report["leaked_slots"] == 0
+
+
 class TestStallDetection:
     def test_stalled_worker_is_killed_restarted_and_jobs_requeued(
         self, chaos_config, chaos_images

@@ -17,6 +17,7 @@ from repro.cluster import (
     ClusterServer,
     LeastLoadedPolicy,
     SharedFrameRing,
+    SharedResultRing,
     WorkerLoad,
     available_policies,
     create_policy,
@@ -547,6 +548,103 @@ class TestZeroCopyFastPath:
         with ClusterServer(cluster_config, num_workers=1) as server:
             with pytest.raises(ReproError):
                 server.submit(cluster_images[0], frame_id=-1)
+
+
+class TestSharedResultRing:
+    def test_claim_write_free_cycle(self):
+        with SharedResultRing(2, 3, slot_bytes=64) as ring:
+            slot = ring.try_claim(1)
+            assert slot is not None and 3 <= slot < 6  # inside range 1
+            view = ring.slot_view(slot)
+            view[:4] = [1, 2, 3, 4]
+            assert ring.in_use() == 1
+            ring.free(slot)
+            assert ring.in_use() == 0
+
+    def test_exhausted_range_returns_none_not_blocks(self):
+        with SharedResultRing(2, 2, slot_bytes=8) as ring:
+            assert ring.try_claim(0) is not None
+            assert ring.try_claim(0) is not None
+            assert ring.try_claim(0) is None  # own range full
+            assert ring.try_claim(1) is not None  # other range unaffected
+
+    def test_reclaim_range_frees_only_the_dead_workers_slots(self):
+        with SharedResultRing(2, 2, slot_bytes=8) as ring:
+            ring.try_claim(0)
+            survivor = ring.try_claim(1)
+            assert ring.reclaim_range(0) == 1
+            assert ring.in_use() == 1  # the survivor's slot is untouched
+            ring.free(survivor)
+
+    def test_attach_sees_owner_claims(self):
+        with SharedResultRing(1, 2, slot_bytes=32) as ring:
+            attached = SharedResultRing.attach(ring.handle())
+            slot = attached.try_claim(0)
+            attached.slot_view(slot)[:3] = [7, 8, 9]
+            assert ring.in_use() == 1
+            assert list(ring.slot_view(slot)[:3]) == [7, 8, 9]
+            attached.close()
+
+    def test_rejects_bad_geometry_and_ranges(self):
+        with pytest.raises(ReproError):
+            SharedResultRing(0, 1, slot_bytes=8)
+        with SharedResultRing(1, 1, slot_bytes=8) as ring:
+            with pytest.raises(ReproError):
+                ring.try_claim(5)
+            with pytest.raises(ReproError):
+                ring.free(99)
+
+
+class TestResultTransport:
+    def test_ring_transport_counts_zero_copy_results(
+        self, cluster_config, cluster_images
+    ):
+        with ClusterServer(cluster_config, num_workers=2) as server:
+            expected = [
+                OrbExtractor(cluster_config).extract(image)
+                for image in cluster_images
+            ]
+            served = server.extract_many(cluster_images)
+            report = server.stats.as_dict()
+        for seq_result, cluster_result in zip(expected, served):
+            assert _feature_key(seq_result) == _feature_key(cluster_result)
+        assert report["results_zero_copy"] == len(cluster_images)
+        assert report["results_via_pickle"] == 0
+        assert report["result_bytes_saved"] > 0
+        assert report["leaked_slots"] == 0
+
+    def test_pickle_transport_is_bit_identical(self, cluster_config, cluster_images):
+        with ClusterServer(
+            cluster_config, num_workers=2, result_transport="pickle"
+        ) as server:
+            expected = [
+                OrbExtractor(cluster_config).extract(image)
+                for image in cluster_images
+            ]
+            served = server.extract_many(cluster_images)
+            report = server.stats.as_dict()
+        for seq_result, cluster_result in zip(expected, served):
+            assert _feature_key(seq_result) == _feature_key(cluster_result)
+        assert report["results_zero_copy"] == 0
+        assert report["results_via_pickle"] == len(cluster_images)
+        assert report["result_bytes_saved"] == 0
+
+    def test_result_batch_of_one_flushes_every_result(
+        self, cluster_config, cluster_images
+    ):
+        with ClusterServer(cluster_config, num_workers=1, result_batch=1) as server:
+            served = server.extract_many(cluster_images)
+            report = server.stats.as_dict()
+        assert len(served) == len(cluster_images)
+        assert report["results_zero_copy"] == len(cluster_images)
+
+    def test_invalid_transport_knobs_rejected(self, cluster_config):
+        with pytest.raises(ReproError, match="result_transport"):
+            ClusterServer(cluster_config, result_transport="carrier_pigeon")
+        with pytest.raises(ReproError, match="result_batch"):
+            ClusterServer(cluster_config, result_batch=0)
+        with pytest.raises(ReproError, match="pyramid_retention_s"):
+            ClusterServer(cluster_config, pyramid_retention_s=-1.0)
 
 
 class TestStableFrameIds:

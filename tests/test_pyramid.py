@@ -9,6 +9,7 @@ and in-process multi-engine fan-out.
 """
 
 import threading
+import time
 from dataclasses import replace
 
 import numpy as np
@@ -268,6 +269,84 @@ class TestSharedPyramidCache:
             assert stats["local_builds"] == 0
 
 
+class TestPyramidRetention:
+    """Session-scoped TTL: retire retains, replays revive, expiries reclaim."""
+
+    def test_retire_retains_and_replay_revives(self, pyramid_config, frames):
+        with SharedPyramidCache.create(
+            pyramid_config, num_slots=2, retention_s=30.0
+        ) as cache:
+            assert cache.publish(0, frames[0].pixels)
+            cache.attach(0).close()
+            cache.retire(0)
+            # replay of the same frame id: publish is a no-op on the
+            # retained copy and attach revives it instead of rebuilding
+            assert cache.publish(0, frames[0].pixels)
+            lease = cache.attach(0)
+            assert lease is not None
+            assert np.array_equal(lease.level(0).image.pixels, frames[0].pixels)
+            lease.close()
+            stats = cache.stats()
+            assert stats["publishes"] == 1
+            assert stats["retained_hits"] == 1
+
+    def test_expired_retention_misses_and_reclaims(self, pyramid_config, frames):
+        with SharedPyramidCache.create(
+            pyramid_config, num_slots=1, retention_s=0.05
+        ) as cache:
+            assert cache.publish(0, frames[0].pixels)
+            cache.retire(0)
+            time.sleep(0.08)
+            assert cache.attach(0) is None  # TTL lapsed: a plain miss
+            stats = cache.stats()
+            assert stats["retained_hits"] == 0
+            assert stats["misses"] == 1
+            # the lapsed slot is reusable without counting an eviction
+            assert cache.publish(1, frames[1].pixels)
+            assert cache.stats()["evictions"] == 0
+
+    def test_publish_prefers_lapsed_slot_over_evicting_valid(
+        self, pyramid_config, frames
+    ):
+        with SharedPyramidCache.create(
+            pyramid_config, num_slots=2, retention_s=0.05
+        ) as cache:
+            assert cache.publish(0, frames[0].pixels)
+            cache.retire(0)  # retained under a short TTL
+            assert cache.publish(1, frames[1].pixels)  # still-useful entry
+            time.sleep(0.08)
+            assert cache.publish(2, frames[2].pixels)  # takes frame 0's slot
+            assert cache.stats()["evictions"] == 0
+            assert cache.attach(1) is not None
+
+    def test_publish_can_evict_unexpired_retained_entry(
+        self, pyramid_config, frames
+    ):
+        with SharedPyramidCache.create(
+            pyramid_config, num_slots=1, retention_s=60.0
+        ) as cache:
+            assert cache.publish(0, frames[0].pixels)
+            cache.retire(0)
+            # retained frames never block new work: the single slot is
+            # reclaimed for the new frame, counted as an eviction
+            assert cache.publish(1, frames[1].pixels)
+            assert cache.stats()["evictions"] == 1
+            assert cache.attach(0) is None
+
+    def test_forced_retire_ignores_retention(self, pyramid_config, frames):
+        with SharedPyramidCache.create(
+            pyramid_config, num_slots=1, retention_s=60.0
+        ) as cache:
+            assert cache.publish(0, frames[0].pixels)
+            cache.retire(0, force=True)  # crash path: no retained copy
+            assert cache.attach(0) is None
+            assert cache.stats()["retained_hits"] == 0
+
+    def test_retention_must_be_positive(self, pyramid_config):
+        with pytest.raises(ImageError, match="retention_s"):
+            SharedPyramidCache.create(pyramid_config, retention_s=0.0)
+
+
 class TestSharedProviderFallback:
     def test_cache_full_falls_back_to_local_build(self, pyramid_config, frames):
         config = _with(pyramid_config, "shared")
@@ -332,6 +411,21 @@ class TestClusterSharedPyramid:
         assert stats["hits"] == len(frames)  # every worker attached zero-copy
         assert stats["local_builds"] == 0
         assert stats["slots_in_use"] == 0  # all slots retired after collection
+
+    def test_cluster_replay_reuses_retained_pyramids(self, pyramid_config, frames):
+        from repro.cluster import ClusterServer
+
+        config = _with(pyramid_config, "shared")
+        frame_ids = list(range(len(frames)))
+        with ClusterServer(config, num_workers=2, pyramid_retention_s=60.0) as server:
+            first = server.extract_many(frames, frame_ids=frame_ids)
+            second = server.extract_many(frames, frame_ids=frame_ids)
+            stats = server.pyramid_cache_stats()
+        assert [r.feature_records() for r in first] == [
+            r.feature_records() for r in second
+        ]
+        assert stats["publishes"] == len(frames)  # replay rebuilt nothing
+        assert stats["retained_hits"] >= len(frames)
 
     def test_cache_stats_readable_after_close(self, pyramid_config, frames):
         from repro.cluster import ClusterServer
