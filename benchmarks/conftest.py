@@ -71,3 +71,50 @@ def bench_sequence():
     return make_sequence(
         SequenceSpec(name="fr1/desk", num_frames=10, image_width=320, image_height=240)
     )
+
+
+def pytest_addoption(parser):
+    """``--trace-dir <path>`` opts any bench into Chrome trace export.
+
+    (``--trace`` itself is taken by pytest's own pdb-on-start option.)
+    """
+    parser.addoption(
+        "--trace-dir",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write Chrome trace-event JSON from traced benchmark runs to "
+            "PATH (a directory; one file per bench).  The REPRO_TRACE "
+            "environment variable is the equivalent opt-in for CI."
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def trace_dir(request):
+    """Directory for Chrome trace artifacts, or ``None`` (tracing off).
+
+    Resolved from ``--trace-dir`` first, then the ``REPRO_TRACE``
+    environment variable, so local runs (``pytest benchmarks/
+    --trace-dir out/``) and
+    CI (``REPRO_TRACE=bench-reports``) can collect Perfetto-loadable
+    traces from any bench that serves frames.
+    """
+    path = request.config.getoption("--trace-dir") or os.environ.get("REPRO_TRACE")
+    if not path:
+        return None
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def export_trace_artifact(trace, trace_dir, name):
+    """Write ``trace`` as Chrome trace JSON into ``trace_dir`` (if opted in).
+
+    Returns the written path or ``None``.  ``docs/observability.md`` has
+    the Perfetto how-to for the resulting file.
+    """
+    if trace_dir is None:
+        return None
+    path = os.path.join(trace_dir, name)
+    return trace.export_chrome_trace(path)

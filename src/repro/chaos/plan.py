@@ -163,6 +163,12 @@ class FaultPlan:
             return False
 
     def _fire(self, server, event: FaultEvent) -> None:
+        # Stamp the plan's seed into the server's event journal before the
+        # fault's consequences land, so every reaction row (worker_dead,
+        # restart, requeue, ...) carries the storm's provenance.
+        journal = getattr(server, "journal", None)
+        if journal is not None:
+            journal.fault_seed = self.seed
         target: Optional[int] = event.worker_id
         if event.kind == "kill":
             target = server.chaos_kill(event.worker_id)
@@ -173,6 +179,13 @@ class FaultPlan:
                 self._armed_publish_failures += 1
         elif event.kind == "slow_frame":
             time.sleep(event.duration_s)
+        if journal is not None:
+            journal.log(
+                f"chaos_{event.kind}",
+                worker_id=target,
+                at_submit=event.at_submit,
+                duration_s=event.duration_s,
+            )
         with self._lock:
             self.fired.append(
                 FiredFault(event.at_submit, event.kind, target, event.duration_s)

@@ -85,9 +85,15 @@ from ..pyramid import SharedPyramidCache
 from ..serving.frame_server import (
     LATENCY_WINDOW,
     local_extraction_config,
-    percentile_ms,
 )
 from ..serving.resultpack import max_packed_nbytes, unpack_result
+from ..telemetry import (
+    ActivityWindow,
+    EventJournal,
+    MetricsRegistry,
+    Trace,
+    Tracer,
+)
 from .context import get_mp_context
 from .result_ring import RingSlotRef, SharedResultRing
 from .router import ShardPolicy, WorkerLoad, create_policy, route_to_alive
@@ -125,9 +131,30 @@ _EWMA_ALPHA = 0.2
 _RING_ACQUIRE_TIMEOUT_S = 5.0
 
 
-@dataclass
+def _safe_metric_read(fn):
+    """Wrap a callback-gauge reader so a snapshot taken mid-close (shared
+    memory already unlinked) reports 0 instead of raising."""
+
+    def read() -> float:
+        try:
+            return float(fn())
+        except Exception:
+            return 0.0
+
+    return read
+
+
 class WorkerStats:
     """Counters of one worker process, maintained by the parent.
+
+    A view over the cluster's :class:`~repro.telemetry.MetricsRegistry`:
+    the numeric attributes are read/write properties backed by
+    ``cluster_worker_*{worker="<id>"}`` metrics, so the existing
+    ``worker.frames_completed += 1`` call sites keep working while every
+    counter is scrape-able through the registry.  Latency percentiles read
+    a bounded log-bucket histogram (O(buckets), no deque sort);
+    ``latencies_s`` keeps the raw recent-sample window for callers that
+    consume samples directly.
 
     ``state`` tracks the worker lifecycle (``running`` / ``dead`` /
     ``failed`` / ``retiring`` / ``retired`` — see
@@ -136,29 +163,118 @@ class WorkerStats:
     ``restarts`` counts supervised respawns of this worker slot.
     """
 
-    worker_id: int
-    frames_completed: int = 0
-    frames_failed: int = 0
-    queue_depth: int = 0
-    steals: int = 0
-    restarts: int = 0
-    ewma_latency_s: float = 0.0
-    alive: bool = True
-    state: str = WORKER_RUNNING
-    # bounded recent-latency window (see serving.frame_server.LATENCY_WINDOW)
-    latencies_s: "deque[float]" = field(
-        default_factory=lambda: deque(maxlen=LATENCY_WINDOW), repr=False
-    )
+    def __init__(
+        self,
+        worker_id: int,
+        registry: Optional[MetricsRegistry] = None,
+        alive: bool = True,
+        state: str = WORKER_RUNNING,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.worker_id = worker_id
+        self.alive = alive
+        self.state = state
+        # bounded recent-latency window (serving.frame_server.LATENCY_WINDOW)
+        self.latencies_s: "deque[float]" = deque(maxlen=LATENCY_WINDOW)
+        labels = {"worker": str(worker_id)}
+        self._completed_counter = self.registry.counter(
+            "cluster_worker_frames_completed_total",
+            help="frames completed by this worker",
+            labels=labels,
+        )
+        self._failed_counter = self.registry.counter(
+            "cluster_worker_frames_failed_total",
+            help="frames failed on this worker",
+            labels=labels,
+        )
+        self._queue_depth_gauge = self.registry.gauge(
+            "cluster_worker_queue_depth",
+            help="frames owned by this worker (backlog + dispatched)",
+            labels=labels,
+        )
+        self._steals_counter = self.registry.counter(
+            "cluster_worker_steals_total",
+            help="jobs this worker stole from a saturated victim's backlog",
+            labels=labels,
+        )
+        self._restarts_counter = self.registry.counter(
+            "cluster_worker_restarts_total",
+            help="supervised respawns of this worker slot",
+            labels=labels,
+        )
+        self._ewma_gauge = self.registry.gauge(
+            "cluster_worker_ewma_latency_s",
+            help="EWMA of this worker's per-frame latency (seconds)",
+            labels=labels,
+        )
+        self._latency_histogram = self.registry.histogram(
+            "cluster_worker_latency_s",
+            help="per-frame latency of this worker (seconds)",
+            labels=labels,
+        )
+
+    # -- registry-backed read/write attributes ------------------------------
+    # Counter setters apply the delta against the live value; every write
+    # happens under ClusterStats._lock, so read-modify-write is serialized.
+    @property
+    def frames_completed(self) -> int:
+        return self._completed_counter.value
+
+    @frames_completed.setter
+    def frames_completed(self, value: int) -> None:
+        self._completed_counter.add(value - self._completed_counter.value)
+
+    @property
+    def frames_failed(self) -> int:
+        return self._failed_counter.value
+
+    @frames_failed.setter
+    def frames_failed(self, value: int) -> None:
+        self._failed_counter.add(value - self._failed_counter.value)
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue_depth_gauge.value
+
+    @queue_depth.setter
+    def queue_depth(self, value: int) -> None:
+        self._queue_depth_gauge.set(value)
+
+    @property
+    def steals(self) -> int:
+        return self._steals_counter.value
+
+    @steals.setter
+    def steals(self, value: int) -> None:
+        self._steals_counter.add(value - self._steals_counter.value)
+
+    @property
+    def restarts(self) -> int:
+        return self._restarts_counter.value
+
+    @restarts.setter
+    def restarts(self, value: int) -> None:
+        self._restarts_counter.add(value - self._restarts_counter.value)
+
+    @property
+    def ewma_latency_s(self) -> float:
+        return self._ewma_gauge.value
+
+    @ewma_latency_s.setter
+    def ewma_latency_s(self, value: float) -> None:
+        self._ewma_gauge.set(value)
+
+    def _observe_latency(self, latency_s: float) -> None:
+        self.latencies_s.append(latency_s)
+        self._latency_histogram.observe(latency_s)
 
     @property
     def latency_p50_ms(self) -> float:
-        # tuple() snapshots the deque in one C-level pass; appends happen
-        # under ClusterStats._lock, which aggregate readers hold instead
-        return percentile_ms(tuple(self.latencies_s), 50.0)
+        return 1000.0 * self._latency_histogram.percentile(50.0)
 
     @property
     def latency_p95_ms(self) -> float:
-        return percentile_ms(tuple(self.latencies_s), 95.0)
+        return 1000.0 * self._latency_histogram.percentile(95.0)
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -176,9 +292,17 @@ class WorkerStats:
         }
 
 
-@dataclass
 class ClusterStats:
     """Aggregate + per-worker counters of a :class:`ClusterServer`.
+
+    A view over one :class:`~repro.telemetry.MetricsRegistry` (``cluster_*``
+    metrics — naming scheme in ``docs/observability.md``): the aggregate
+    counters are read-only properties over registry counters/gauges, the
+    latency percentiles read a bounded log-bucket histogram, and an
+    :class:`~repro.telemetry.ActivityWindow` adds ``active_elapsed_s`` /
+    ``active_throughput_fps`` (throughput over the time the cluster was
+    actually serving, immune to idle gaps between replays).  All
+    pre-telemetry ``as_dict()`` keys are preserved.
 
     Field names match :class:`repro.serving.ServingStats` where the concept
     matches, so thread-server and cluster reports line up column for column.
@@ -204,50 +328,94 @@ class ClusterStats:
     force-reclaimed — zero in a healthy run, asserted by the chaos tests).
     """
 
-    frames_submitted: int = 0
-    frames_completed: int = 0
-    frames_failed: int = 0
-    max_in_flight: int = 0
-    steals: int = 0
-    publish_fallbacks: int = 0
-    frames_zero_copy: int = 0
-    frames_via_ring: int = 0
-    ring_bytes_copied: int = 0
-    results_zero_copy: int = 0
-    results_via_pickle: int = 0
-    result_bytes_saved: int = 0
-    restarts: int = 0
-    retries: int = 0
-    requeued: int = 0
-    shed: int = 0
-    pool_grows: int = 0
-    pool_shrinks: int = 0
-    leaked_slots: int = 0
-    workers: List[WorkerStats] = field(default_factory=list)
-    _in_flight: int = 0
-    _first_submit_s: Optional[float] = None
-    _last_completed_s: Optional[float] = None
-    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    #: aggregate counter attributes -> registry metric names; each becomes a
+    #: read-only property (via ``__getattr__``) and a row in the docs table
+    _COUNTERS = {
+        "frames_submitted": "cluster_frames_submitted_total",
+        "frames_completed": "cluster_frames_completed_total",
+        "frames_failed": "cluster_frames_failed_total",
+        "steals": "cluster_steals_total",
+        "publish_fallbacks": "cluster_publish_fallbacks_total",
+        "frames_zero_copy": "cluster_frames_zero_copy_total",
+        "frames_via_ring": "cluster_frames_via_ring_total",
+        "ring_bytes_copied": "cluster_ring_bytes_copied_total",
+        "results_zero_copy": "cluster_results_zero_copy_total",
+        "results_via_pickle": "cluster_results_via_pickle_total",
+        "result_bytes_saved": "cluster_result_bytes_saved_total",
+        "restarts": "cluster_restarts_total",
+        "retries": "cluster_retries_total",
+        "requeued": "cluster_requeued_total",
+        "shed": "cluster_shed_total",
+        "pool_grows": "cluster_pool_grows_total",
+        "pool_shrinks": "cluster_pool_shrinks_total",
+        "leaked_slots": "cluster_leaked_slots_total",
+    }
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        _clock=None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.workers: List[WorkerStats] = []
+        self._clock = _clock if _clock is not None else time.perf_counter
+        self._counters = {
+            attr: self.registry.counter(name, help=attr.replace("_", " "))
+            for attr, name in self._COUNTERS.items()
+        }
+        self._in_flight_gauge = self.registry.gauge(
+            "cluster_in_flight", help="frames submitted but not yet completed"
+        )
+        self._max_in_flight_gauge = self.registry.gauge(
+            "cluster_max_in_flight", help="high-watermark of the in-flight window"
+        )
+        self._latency_histogram = self.registry.histogram(
+            "cluster_latency_s", help="per-frame serving latency (seconds)"
+        )
+        self._active_gauge = self.registry.gauge(
+            "cluster_active_s",
+            help="accumulated active serving time (idle gaps capped)",
+        )
+        self._window = ActivityWindow(clock=self._clock)
+        self._first_submit_s: Optional[float] = None
+        self._last_completed_s: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def __getattr__(self, attr: str):
+        # Aggregate counters read straight from the registry.  __getattr__
+        # only fires for names with no real attribute/property, so the
+        # bookkeeping hot paths below never pay for this indirection.
+        counters = self.__dict__.get("_counters")
+        if counters is not None and attr in counters:
+            return counters[attr].value
+        raise AttributeError(attr)
 
     # -- bookkeeping (server-internal) ------------------------------------
+    def _touch_window(self) -> None:
+        """Advance the activity window (caller holds ``self._lock``)."""
+        self._window.touch()
+        self._active_gauge.set(self._window.active_s)
+
     def _submitted(self, worker_id: int) -> None:
         with self._lock:
             if self._first_submit_s is None:
-                self._first_submit_s = time.perf_counter()
-            self.frames_submitted += 1
-            self._in_flight += 1
-            self.max_in_flight = max(self.max_in_flight, self._in_flight)
+                self._first_submit_s = self._clock()
+            self._counters["frames_submitted"].inc()
+            self._in_flight_gauge.inc()
+            self._max_in_flight_gauge.set_max(self._in_flight_gauge.value)
             self.workers[worker_id].queue_depth += 1
+            self._touch_window()
 
     def _completed(self, worker_id: int, latency_s: float) -> None:
         with self._lock:
-            self._last_completed_s = time.perf_counter()
-            self.frames_completed += 1
-            self._in_flight -= 1
+            self._last_completed_s = self._clock()
+            self._counters["frames_completed"].inc()
+            self._in_flight_gauge.dec()
+            self._latency_histogram.observe(latency_s)
             worker = self.workers[worker_id]
             worker.frames_completed += 1
             worker.queue_depth -= 1
-            worker.latencies_s.append(latency_s)
+            worker._observe_latency(latency_s)
             if worker.frames_completed == 1:
                 worker.ewma_latency_s = latency_s
             else:
@@ -255,27 +423,29 @@ class ClusterStats:
                     (1.0 - _EWMA_ALPHA) * worker.ewma_latency_s
                     + _EWMA_ALPHA * latency_s
                 )
+            self._touch_window()
 
     def _failed(self, worker_id: int) -> None:
         with self._lock:
-            self._last_completed_s = time.perf_counter()
-            self.frames_failed += 1
-            self._in_flight -= 1
+            self._last_completed_s = self._clock()
+            self._counters["frames_failed"].inc()
+            self._in_flight_gauge.dec()
             worker = self.workers[worker_id]
             worker.frames_failed += 1
             worker.queue_depth -= 1
+            self._touch_window()
 
     def _abandoned(self, worker_id: int) -> None:
         """Undo a submission whose hand-off failed (never extracted)."""
         with self._lock:
-            self.frames_submitted -= 1
-            self._in_flight -= 1
+            self._counters["frames_submitted"].add(-1)
+            self._in_flight_gauge.dec()
             self.workers[worker_id].queue_depth -= 1
 
     def _stolen(self, victim_id: int, thief_id: int) -> None:
         """Move one queued job's accounting from ``victim`` to ``thief``."""
         with self._lock:
-            self.steals += 1
+            self._counters["steals"].inc()
             self.workers[thief_id].steals += 1
             self.workers[victim_id].queue_depth -= 1
             self.workers[thief_id].queue_depth += 1
@@ -284,63 +454,76 @@ class ClusterStats:
         """Record which transport carried one frame and its copy volume."""
         with self._lock:
             if zero_copy:
-                self.frames_zero_copy += 1
+                self._counters["frames_zero_copy"].inc()
             else:
-                self.frames_via_ring += 1
-                self.ring_bytes_copied += bytes_copied
+                self._counters["frames_via_ring"].inc()
+                self._counters["ring_bytes_copied"].inc(bytes_copied)
             if fallback:
-                self.publish_fallbacks += 1
+                self._counters["publish_fallbacks"].inc()
 
     def _result_transport(self, zero_copy: bool, packed_nbytes: int) -> None:
         """Record which transport carried one collected result."""
         with self._lock:
             if zero_copy:
-                self.results_zero_copy += 1
-                self.result_bytes_saved += packed_nbytes
+                self._counters["results_zero_copy"].inc()
+                self._counters["result_bytes_saved"].inc(packed_nbytes)
             else:
-                self.results_via_pickle += 1
+                self._counters["results_via_pickle"].inc()
 
     def _requeued(self, victim_id: int, target_id: int, retried: bool) -> None:
         """Move one crashed-worker job's accounting to its new owner."""
         with self._lock:
-            self.requeued += 1
+            self._counters["requeued"].inc()
             if retried:
-                self.retries += 1
+                self._counters["retries"].inc()
             if victim_id != target_id:
                 self.workers[victim_id].queue_depth -= 1
                 self.workers[target_id].queue_depth += 1
 
     def _restarted(self, worker_id: int) -> None:
         with self._lock:
-            self.restarts += 1
+            self._counters["restarts"].inc()
             self.workers[worker_id].restarts += 1
 
     def _shed(self) -> None:
         with self._lock:
-            self.shed += 1
+            self._counters["shed"].inc()
 
     def _pool_grew(self) -> None:
         with self._lock:
-            self.pool_grows += 1
+            self._counters["pool_grows"].inc()
 
     def _pool_shrank(self) -> None:
         with self._lock:
-            self.pool_shrinks += 1
+            self._counters["pool_shrinks"].inc()
 
     def _leaked(self, count: int) -> None:
         with self._lock:
-            self.leaked_slots += count
+            self._counters["leaked_slots"].inc(count)
 
-    def _add_worker(self) -> WorkerStats:
-        """Append stats for a newly grown worker slot (starts not alive)."""
+    def _add_worker(
+        self, alive: bool = False, state: str = WORKER_RETIRED
+    ) -> WorkerStats:
+        """Append stats for one worker slot (elastic growth starts not alive)."""
         with self._lock:
             worker = WorkerStats(
-                worker_id=len(self.workers), alive=False, state=WORKER_RETIRED
+                worker_id=len(self.workers),
+                registry=self.registry,
+                alive=alive,
+                state=state,
             )
             self.workers.append(worker)
             return worker
 
     # -- derived metrics ---------------------------------------------------
+    @property
+    def _in_flight(self) -> int:
+        return self._in_flight_gauge.value
+
+    @property
+    def max_in_flight(self) -> int:
+        return self._max_in_flight_gauge.value
+
     @property
     def queue_depth(self) -> int:
         """Frames submitted but not yet completed/failed, across all workers."""
@@ -348,11 +531,12 @@ class ClusterStats:
 
     @property
     def latency_p50_ms(self) -> float:
-        return percentile_ms(self._all_latencies(), 50.0)
+        """Median serving latency (ms), read from the bounded histogram."""
+        return 1000.0 * self._latency_histogram.percentile(50.0)
 
     @property
     def latency_p95_ms(self) -> float:
-        return percentile_ms(self._all_latencies(), 95.0)
+        return 1000.0 * self._latency_histogram.percentile(95.0)
 
     @property
     def elapsed_s(self) -> float:
@@ -369,6 +553,22 @@ class ClusterStats:
             return 0.0
         return self.frames_completed / elapsed
 
+    @property
+    def active_elapsed_s(self) -> float:
+        """Accumulated *active* serving time (idle gaps capped)."""
+        with self._lock:
+            return self._window.active_s
+
+    @property
+    def active_throughput_fps(self) -> float:
+        """Completed frames per second of *active* time — unlike the legacy
+        ``throughput_fps``, this does not deflate across idle gaps between
+        replays on a long-lived server."""
+        active = self.active_elapsed_s
+        if active <= 0.0:
+            return 0.0
+        return self.frames_completed / active
+
     def load_view(self) -> List[WorkerLoad]:
         """Per-worker load snapshot fed to load-aware shard policies."""
         with self._lock:
@@ -382,12 +582,12 @@ class ClusterStats:
                 for worker in self.workers
             ]
 
-    def _all_latencies(self) -> List[float]:
-        with self._lock:
-            return [value for worker in self.workers for value in worker.latencies_s]
-
     def as_dict(self) -> Dict[str, object]:
-        """JSON-friendly snapshot (benchmark reports)."""
+        """JSON-friendly snapshot (benchmark reports).
+
+        Every pre-telemetry key is preserved; ``active_elapsed_s`` /
+        ``active_throughput_fps`` are additive.
+        """
         with self._lock:  # per-worker rows snapshot under the append lock
             workers = [worker.as_dict() for worker in self.workers]
         return {
@@ -415,6 +615,8 @@ class ClusterStats:
             "latency_p95_ms": self.latency_p95_ms,
             "elapsed_s": self.elapsed_s,
             "throughput_fps": self.throughput_fps,
+            "active_elapsed_s": self.active_elapsed_s,
+            "active_throughput_fps": self.active_throughput_fps,
             "workers": workers,
         }
 
@@ -540,6 +742,23 @@ class ClusterServer:
         over the same stable frame ids then reuse the cached pyramids
         (``pyramid_cache_stats()["retained_hits"]``).  Ignored for other
         providers.
+    registry:
+        A :class:`~repro.telemetry.MetricsRegistry` to expose every
+        ``cluster_*`` metric through (one is created when omitted;
+        reachable as ``server.registry`` either way).
+    tracer:
+        A :class:`~repro.telemetry.Tracer` for the producer-side spans
+        (submit, backlog wait, transport, collect).  Pass one with
+        ``enabled=True`` to trace a run; the default tracer is disabled
+        and every instrumentation point is a guarded no-op.  Worker
+        processes inherit the enabled flag and ship their spans back on
+        the result queue; :meth:`trace` returns the merged
+        :class:`~repro.telemetry.Trace`.
+    journal:
+        An :class:`~repro.telemetry.EventJournal` receiving every
+        supervision/routing event (restarts, steals, sheds, requeues,
+        pool changes, fallbacks, leak reclaims) — always on; one is
+        created when omitted.
     """
 
     def __init__(
@@ -557,6 +776,9 @@ class ClusterServer:
         result_transport: str = "ring",
         result_batch: int = DEFAULT_RESULT_BATCH,
         pyramid_retention_s: Optional[float] = None,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        journal: Optional[EventJournal] = None,
     ) -> None:
         if num_workers <= 0:
             raise ReproError("num_workers must be positive")
@@ -640,9 +862,28 @@ class ClusterServer:
         # know no stale descriptor into the dead range is still in flight
         # on the collector thread (see _on_worker_exit)
         self._collect_lock = threading.Lock()
-        self.stats = ClusterStats(
-            workers=[WorkerStats(worker_id=index) for index in range(num_workers)]
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer(track="server")
+        self.journal = journal if journal is not None else EventJournal()
+        self._trace = Trace()
+        self.stats = ClusterStats(registry=self.registry)
+        for _ in range(num_workers):
+            self.stats._add_worker(alive=True, state=WORKER_RUNNING)
+        # transport occupancy as callback gauges: read live from the rings at
+        # snapshot time instead of mirroring every acquire/release
+        self.registry.gauge(
+            "cluster_frame_ring_in_flight",
+            help="frame-ring slots currently acquired",
+            fn=_safe_metric_read(lambda: self._ring.in_flight()),
         )
+        if self._result_ring is not None:
+            self.registry.gauge(
+                "cluster_result_ring_in_use",
+                help="result-ring slots currently claimed",
+                fn=_safe_metric_read(lambda: self._result_ring.in_use()),
+            )
+        if self._pyramid_cache is not None:
+            self._pyramid_cache.register_metrics(self.registry)
         # one job queue AND one result queue per worker: multiprocessing
         # queues guard their pipe ends with cross-process locks, and a
         # worker SIGKILLed mid-put would leave a *shared* result queue's
@@ -733,6 +974,7 @@ class ClusterServer:
                 self._heartbeats,
                 self._result_ring_handle,
                 self.result_batch,
+                self.tracer.enabled,
             ),
             name=f"cluster-worker-{worker_id}",
             daemon=True,
@@ -762,6 +1004,17 @@ class ClusterServer:
         report["zero_copy_frames"] = self.stats.frames_zero_copy
         report["ring_fallback_frames"] = self.stats.frames_via_ring
         return report
+
+    def trace(self) -> Trace:
+        """The merged cross-process trace of this server's run so far.
+
+        Drains the producer-side tracer into the merge (worker buffers are
+        folded in as their result flushes arrive) and returns the
+        :class:`~repro.telemetry.Trace` — call after the frames of
+        interest have resolved, then ``export_chrome_trace(path)`` it.
+        """
+        self._trace.add_spans(self.tracer.track, self.tracer.drain())
+        return self._trace
 
     def alive_worker_ids(self) -> List[int]:
         """Worker ids currently serving (``state == "running"``)."""
@@ -840,21 +1093,34 @@ class ClusterServer:
                     self.fault_plan is not None
                     and self.fault_plan.take_publish_failure()
                 )
-                if not forced_miss and self._pyramid_cache.publish(key, image.pixels):
-                    pin_slot = self._pyramid_cache.pin(key)
+                with self.tracer.span("publish_pyramid", frame=key):
+                    if not forced_miss and self._pyramid_cache.publish(
+                        key, image.pixels
+                    ):
+                        pin_slot = self._pyramid_cache.pin(key)
                 zero_copy = pin_slot is not None
                 fallback = not zero_copy
+                if fallback:
+                    self.journal.log(
+                        "publish_fallback", job=job_id, key=key, forced=forced_miss
+                    )
             if zero_copy:
                 height, width = image.pixels.shape
             else:
-                slot = self._ring.acquire(timeout=_RING_ACQUIRE_TIMEOUT_S)
-                if slot is None:
-                    self.stats._leaked(1)
-                    raise ReproError(
-                        "no free frame ring slot inside the admission window "
-                        "(slot leak?)"
-                    )
-                height, width = self._ring.write(slot, image.pixels)
+                with self.tracer.span("ring_write", frame=key):
+                    slot = self._ring.acquire(timeout=_RING_ACQUIRE_TIMEOUT_S)
+                    if slot is None:
+                        self.stats._leaked(1)
+                        self.journal.log(
+                            "leak_reclaim",
+                            job=job_id,
+                            reason="frame ring exhausted inside admission window",
+                        )
+                        raise ReproError(
+                            "no free frame ring slot inside the admission window "
+                            "(slot leak?)"
+                        )
+                    height, width = self._ring.write(slot, image.pixels)
             job = _PendingJob(
                 future,
                 worker_id,
@@ -886,6 +1152,13 @@ class ClusterServer:
                 )
                 self._backlogs[target].append(job.message(job_id))
                 self._dispatch_cv.notify_all()
+            self.tracer.complete(
+                "submit",
+                submitted_s,
+                frame=key,
+                worker=worker_id,
+                transport="zero_copy" if zero_copy else "ring",
+            )
             return future
         except BaseException:
             if registered:
@@ -968,6 +1241,7 @@ class ClusterServer:
     ) -> "Future[ExtractionResult]":
         """Refuse or locally serve one submission the cluster cannot take."""
         self.stats._shed()
+        self.journal.log("shed", reason=reason, mode=self.on_overload)
         attempt = JobAttempt(worker_id=-1, reason=f"shed: {reason}", elapsed_s=0.0)
         if self.on_overload == "fail_fast":
             raise JobFailed(f"submission shed: {reason}", (attempt,))
@@ -1106,6 +1380,19 @@ class ClusterServer:
                 continue
             if victim_id is not None:
                 self.stats._stolen(victim_id, worker_id)
+                self.journal.log(
+                    "steal", worker_id=worker_id, victim=victim_id, job=job_id
+                )
+            if self.tracer.enabled:
+                # backlog wait: submit hand-off until the dispatcher moved
+                # the job toward a worker queue (cross-thread, async kind)
+                self.tracer.record(
+                    "backlog_wait",
+                    job.submitted_s,
+                    time.perf_counter(),
+                    frame=job.key,
+                    worker=worker_id,
+                )
             try:
                 self._job_queues[worker_id].put(message)
             except BaseException:
@@ -1232,7 +1519,14 @@ class ClusterServer:
                 self._fold_result_batch(message)
 
     def _fold_result_batch(self, message) -> None:
-        worker_id, batch = message
+        worker_id, batch, trace_blob = message
+        if trace_blob is not None:
+            # the worker's drained span buffer rode along with this flush;
+            # its clock-at-flush stamp feeds the track's offset calibration
+            worker_clock_s, worker_records = trace_blob
+            self._trace.add_worker_spans(
+                f"worker-{worker_id}", worker_records, worker_clock_s
+            )
         with self._dispatch_cv:
             # the executor finished len(batch) jobs: reopen its window
             self._dispatched[worker_id] = max(
@@ -1270,6 +1564,15 @@ class ClusterServer:
                 self._release_job_resources(job)
                 self._release_admission()
                 job.future.set_result(result)
+                if self.tracer.enabled:
+                    self.tracer.record(
+                        "serve",
+                        job.submitted_s,
+                        time.perf_counter(),
+                        frame=job.key,
+                        worker=worker_id,
+                    )
+                    self.tracer.instant("resolve", frame=job.key)
             else:
                 self.stats._failed(job.worker_id)
                 self._release_job_resources(job)
@@ -1343,6 +1646,7 @@ class ClusterServer:
         # The process is already joined, so the queue gains nothing more.
         self._drain_worker_result_queue(worker_id)
         failures: List[Tuple[_PendingJob, Exception]] = []
+        requeued = 0
         with self._dispatch_cv:
             with self._lock:
                 worker = self.stats.workers[worker_id]
@@ -1420,7 +1724,18 @@ class ClusterServer:
                     self._backlogs[target].appendleft(job.message(job_id))
                     self._crashed_keys.add(job.key)
                     self.stats._requeued(worker_id, target, retried=was_dispatched)
+                    requeued += 1
             self._dispatch_cv.notify_all()
+        self.journal.log(
+            "worker_dead",
+            worker_id=worker_id,
+            exitcode=exitcode,
+            reason=reason,
+            requeued=requeued,
+            failed=len(failures),
+        )
+        if requeued:
+            self.journal.log("requeue", worker_id=worker_id, jobs=requeued)
         for job, error in failures:
             self.stats._failed(worker_id)
             self._release_job_resources(job, crashed=True)
@@ -1532,6 +1847,9 @@ class ClusterServer:
             except Exception:
                 return
         process.join(timeout=5.0)
+        self.journal.log(
+            "stall_kill", worker_id=worker_id, stalled_for_s=round(stalled_for_s, 3)
+        )
         self._on_worker_exit(
             worker_id,
             process.exitcode,
@@ -1583,6 +1901,11 @@ class ClusterServer:
                 worker.alive = True
             self._dispatch_cv.notify_all()
         self.stats._restarted(worker_id)
+        self.journal.log(
+            "restart",
+            worker_id=worker_id,
+            restarts=self.stats.workers[worker_id].restarts,
+        )
         with self._admission:
             self._admission.notify_all()  # blocked producers can route again
         try:
@@ -1648,6 +1971,9 @@ class ClusterServer:
                     self._backlogs[target].appendleft(job.message(job_id))
                     self.stats._requeued(worker_id, target, retried=False)
             self._dispatch_cv.notify_all()
+        self.journal.log(
+            "worker_failed", worker_id=worker_id, failed=len(failures)
+        )
         for job, error in failures:
             self.stats._failed(worker_id)
             self._release_job_resources(job, crashed=True)
@@ -1688,6 +2014,7 @@ class ClusterServer:
                     now - job.submitted_s,
                 )
             )
+            self.journal.log("expired", worker_id=job.worker_id, job=job_id)
             self.stats._failed(job.worker_id)
             self._release_job_resources(job)
             self._release_admission()
@@ -1746,6 +2073,7 @@ class ClusterServer:
                 worker.alive = True
             self._dispatch_cv.notify_all()
         self.stats._pool_grew()
+        self.journal.log("pool_grow", worker_id=slot_id, pool=self.pool_size)
         with self._admission:
             self._admission.notify_all()
         return True
@@ -1781,6 +2109,7 @@ class ClusterServer:
                 return
             worker.state = WORKER_RETIRED
         self.stats._pool_shrank()
+        self.journal.log("pool_shrink", worker_id=worker_id, pool=self.pool_size)
 
     # -- lifecycle ---------------------------------------------------------
     def close(self, drain_timeout_s: float = 30.0) -> None:
@@ -1871,6 +2200,7 @@ class ClusterServer:
             leaked += self._result_ring.in_use()
         if leaked:
             self.stats._leaked(leaked)
+            self.journal.log("leak_reclaim", count=leaked, at="close")
         self._ring.close()
         if self._result_ring is not None:
             self._result_ring.close()

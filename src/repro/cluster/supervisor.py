@@ -239,6 +239,11 @@ class Supervisor:
                 self._backoff_s[worker_id] = min(
                     2.0 * backoff, config.restart_backoff_max_s
                 )
+                self._server.journal.log(
+                    "restart_backoff",
+                    worker_id=worker_id,
+                    backoff_s=round(backoff, 3),
+                )
 
     def _forget_schedule(self, worker_id: int) -> None:
         self._next_restart_at.pop(worker_id, None)

@@ -82,15 +82,23 @@ def worker_main(
     heartbeat=None,
     result_ring_handle=None,
     result_batch: int = DEFAULT_RESULT_BATCH,
+    trace_enabled: bool = False,
 ) -> None:
     """Consume frame jobs until the shutdown sentinel arrives.
 
-    Result messages are ``(worker_id, batch)`` where ``batch`` is a list of
-    ``(job_id, payload, latency_s, error)`` entries (exactly one of
-    ``payload`` / ``error`` set per entry).  ``payload`` is a
+    Result messages are ``(worker_id, batch, trace_blob)`` where ``batch``
+    is a list of ``(job_id, payload, latency_s, error)`` entries (exactly
+    one of ``payload`` / ``error`` set per entry).  ``payload`` is a
     :class:`~repro.cluster.result_ring.RingSlotRef` when the result was
     packed into the shared result ring, else the
     :class:`~repro.features.ExtractionResult` itself (pickle fallback).
+    ``trace_blob`` is ``None`` unless ``trace_enabled``, in which case it
+    is ``(worker_perf_counter_at_flush, drained_span_records)`` — the
+    worker's span buffer rides every flush back to the server, which uses
+    the clock stamp to calibrate this worker's ``perf_counter`` offset
+    (:meth:`repro.telemetry.Trace.add_worker_spans`).  Because spans ride
+    the *result queue*, a crashed worker's already-flushed spans survive:
+    the server drains the dead queue before reclaiming anything.
     Neither the frame ring slot nor the cache pin is echoed back: the
     server tracks both per job and frees them when the result (or failure)
     is collected, which guarantees the worker has finished reading the
@@ -113,8 +121,15 @@ def worker_main(
     from ..image import GrayImage
     from ..pyramid import SharedPyramidCache
     from ..serving.resultpack import pack_into
+    from ..telemetry import Tracer, set_tracer
     from .result_ring import RingSlotRef, SharedResultRing
     from .shared_ring import attach_slot_view
+
+    # Install the process-local tracer so the extractor's stage spans
+    # (smooth/detect/describe) land in this worker's buffer without any
+    # signature plumbing; disabled it is a guarded no-op everywhere.
+    tracer = Tracer(enabled=trace_enabled, track=f"worker-{worker_id}")
+    set_tracer(tracer)
 
     # Attaching re-registers the segment with the resource tracker the
     # worker shares with the server process; that is a set-membership no-op,
@@ -158,9 +173,15 @@ def worker_main(
         if heartbeat is not None:
             heartbeat[worker_id] = time.monotonic()
 
+    def trace_blob():
+        """The drained span buffer + flush-time clock stamp (None if off)."""
+        if not tracer.enabled:
+            return None
+        return (time.perf_counter(), tracer.drain())
+
     def flush() -> None:
         if pending:
-            result_queue.put((worker_id, list(pending)))
+            result_queue.put((worker_id, list(pending), trace_blob()))
             pending.clear()
 
     def get_blocking():
@@ -191,6 +212,10 @@ def worker_main(
                 return  # parent tore the queue down (close after crash)
             if message is SHUTDOWN:
                 flush()
+                if tracer.enabled and len(tracer):
+                    # spans recorded since the last result flush (tail of a
+                    # drain) ride out on an empty batch before we exit
+                    result_queue.put((worker_id, [], trace_blob()))
                 break
             beat()
             job_id, key, slot, height, width = message
@@ -200,26 +225,37 @@ def worker_main(
                     # zero-copy fast path: the pyramid (level 0 included)
                     # already lives in the shared cache, pinned by the
                     # producer, so attach by key instead of reading the ring
-                    cached = pyramid_cache.attach(key, expected_shape=(height, width))
+                    with tracer.span("attach_pyramid", frame=key):
+                        cached = pyramid_cache.attach(
+                            key, expected_shape=(height, width)
+                        )
                     if cached is None:
                         raise RuntimeError(
                             f"zero-copy pyramid for frame key {key} missing "
                             "from the shared cache"
                         )
                     try:
-                        result = extractor.extract(
-                            cached.level(0).image, frame_id=key, pyramid=cached
-                        )
+                        with tracer.span("extract", frame=key):
+                            result = extractor.extract(
+                                cached.level(0).image, frame_id=key, pyramid=cached
+                            )
                     finally:
                         cached.close()
                 else:
-                    pixels = attach_slot_view(shm, slot, slot_bytes, height, width)
-                    result = extractor.extract(GrayImage(pixels), frame_id=key)
+                    with tracer.span("ring_read", frame=key):
+                        pixels = attach_slot_view(
+                            shm, slot, slot_bytes, height, width
+                        )
+                    with tracer.span("extract", frame=key):
+                        result = extractor.extract(GrayImage(pixels), frame_id=key)
+                with tracer.span("pack", frame=key):
+                    payload = pack_payload(result)
                 latency = time.perf_counter() - start
-                pending.append((job_id, pack_payload(result), latency, None))
+                pending.append((job_id, payload, latency, None))
             except Exception as error:  # surface, don't kill the worker
                 latency = time.perf_counter() - start
                 pending.append((job_id, None, latency, repr(error)))
+            tracer.complete("serve_frame", start, frame=key)
             beat()
             if len(pending) >= result_batch:
                 flush()

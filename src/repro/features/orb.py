@@ -48,6 +48,7 @@ import numpy as np
 
 from ..config import ExtractorConfig
 from ..image import GrayImage, ImagePyramid, within_border
+from ..telemetry import current_tracer
 from .brief import DescriptorEngine
 from .heap_filter import BoundedScoreHeap
 from .keypoint import Feature, Keypoint
@@ -374,9 +375,11 @@ class OrbExtractor:
         must not re-acquire (or release) one through the provider; the
         caller keeps ownership of a supplied pyramid.
         """
+        tracer = current_tracer()
         owned = pyramid is None
         if owned:
-            pyramid = self.pyramid_provider.acquire(image, frame_id)
+            with tracer.span("acquire_pyramid", frame=frame_id):
+                pyramid = self.pyramid_provider.acquire(image, frame_id)
         try:
             profile = ExtractionProfile(
                 workflow="rescheduled" if self.config.rescheduled_workflow else "original"
@@ -387,6 +390,16 @@ class OrbExtractor:
             else:
                 features = self._extract_original(pyramid, profile)
             profile.features_retained = len(features)
+            if tracer.enabled:
+                # the engine's workload counters, attached to the timeline so
+                # a slow extract span can be explained without a second run
+                tracer.instant(
+                    "profile",
+                    frame=frame_id,
+                    keypoints_detected=profile.keypoints_detected,
+                    descriptors_computed=profile.descriptors_computed,
+                    features_retained=profile.features_retained,
+                )
             return ExtractionResult(features=features, profile=profile)
         finally:
             if owned:
@@ -453,14 +466,18 @@ class OrbExtractor:
         bulk-inserted into the heap; only the retained winners become
         :class:`Feature` objects.
         """
+        tracer = current_tracer()
         heap: BoundedScoreHeap[Tuple[int, int]] = BoundedScoreHeap(self.config.max_features)
         batches: List[Tuple[int, object]] = []
         for level in pyramid:
-            smoothed = self.frontend.smooth(level.image)
-            xs, ys, scores = self._detect_level_candidates(level.image, level.level, profile)
+            with tracer.span("smooth", level=level.level):
+                smoothed = self.frontend.smooth(level.image)
+            with tracer.span("detect", level=level.level):
+                xs, ys, scores = self._detect_level_candidates(level.image, level.level, profile)
             if xs.size == 0:
                 continue
-            batch = self.backend.describe(smoothed, xs, ys, scores)
+            with tracer.span("describe", level=level.level):
+                batch = self.backend.describe(smoothed, xs, ys, scores)
             if batch.size == 0:
                 continue
             profile.descriptors_computed += batch.size
@@ -471,19 +488,23 @@ class OrbExtractor:
             )
         profile.heap_comparisons = heap.stats.comparisons
         features: List[Feature] = []
-        for batch_index, row in heap.items_by_score():
-            level, batch = batches[batch_index]
-            features.append(self._feature_from_batch(batch, row, level))
+        with tracer.span("filter"):
+            for batch_index, row in heap.items_by_score():
+                level, batch = batches[batch_index]
+                features.append(self._feature_from_batch(batch, row, level))
         return features
 
     def _extract_original(
         self, pyramid: ImagePyramid, profile: ExtractionProfile
     ) -> List[Feature]:
         """Original order: collect all keypoints, filter to best N, then describe."""
+        tracer = current_tracer()
         level_data = []
         for level in pyramid:
-            smoothed = self.frontend.smooth(level.image)
-            xs, ys, scores = self._detect_level_candidates(level.image, level.level, profile)
+            with tracer.span("smooth", level=level.level):
+                smoothed = self.frontend.smooth(level.image)
+            with tracer.span("detect", level=level.level):
+                xs, ys, scores = self._detect_level_candidates(level.image, level.level, profile)
             level_data.append((level.level, smoothed, xs, ys, scores))
         all_scores = np.concatenate([entry[4] for entry in level_data])
         if all_scores.size == 0:
@@ -505,9 +526,10 @@ class OrbExtractor:
             if member_ranks.size == 0:
                 continue
             selection = local_indices[retained[member_ranks]]
-            batch = self.backend.describe(
-                smoothed, xs[selection], ys[selection], scores[selection]
-            )
+            with tracer.span("describe", level=level):
+                batch = self.backend.describe(
+                    smoothed, xs[selection], ys[selection], scores[selection]
+                )
             profile.descriptors_computed += batch.size
             for row in range(batch.size):
                 rank = int(member_ranks[int(batch.kept[row])])

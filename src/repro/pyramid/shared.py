@@ -546,6 +546,34 @@ class SharedPyramidCache:
             }
         return snapshot
 
+    def register_metrics(self, registry) -> None:
+        """Expose the cache counters as ``pyramid_cache_*`` callback gauges.
+
+        Callback gauges read :meth:`stats` live at snapshot time, so the
+        registry needs no mirror writes on the publish/attach hot paths —
+        and keeps reporting the final pre-close snapshot after teardown.
+        """
+
+        def reader(key: str):
+            def read() -> float:
+                try:
+                    return float(self.stats()[key])
+                except Exception:
+                    return 0.0
+
+            return read
+
+        for key, help_text in (
+            ("hits", "shared-pyramid attaches served from the cache"),
+            ("misses", "attach attempts that found no published pyramid"),
+            ("publishes", "pyramids published into the shared cache"),
+            ("evictions", "published pyramids evicted to free a slot"),
+            ("local_builds", "consumer-side fallback pyramid builds"),
+            ("retained_hits", "attaches served by session-retained pyramids"),
+            ("slots_in_use", "cache slots currently holding a pyramid"),
+        ):
+            registry.gauge(f"pyramid_cache_{key}", help=help_text, fn=reader(key))
+
     # -- lifecycle ---------------------------------------------------------
     def close(self) -> None:
         """Detach from the shared block (the owner also unlinks it)."""

@@ -26,7 +26,6 @@ import time
 import zlib
 from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Protocol, Sequence, runtime_checkable
 
 import numpy as np
@@ -115,62 +114,114 @@ class FrameServing(Protocol):
     ) -> "Future[ExtractionResult]": ...
 
 
-@dataclass
 class ServingStats:
     """Counters accumulated by a :class:`FrameServer` across its lifetime.
 
-    Besides the in-flight window counters, per-frame extraction latencies
-    and the first-submit/last-complete wall-clock span are recorded so the
-    thread server reports the same latency percentiles and throughput
-    figures as the process cluster (:class:`repro.cluster.ClusterStats`).
+    Since the telemetry layer landed this is a **view over a
+    :class:`~repro.telemetry.MetricsRegistry`** (``serving_*`` metrics —
+    naming scheme in ``docs/observability.md``): the counter/gauge
+    attributes read the registry, the latency percentiles read a bounded
+    log-bucket histogram (a scrape never snapshots+sorts a deque under the
+    lock any more), and every ``as_dict()`` key of the pre-registry
+    dataclass is preserved.  ``latencies_s`` — the bounded recent-latency
+    deque — is still maintained for callers that consume raw samples.
+
+    Besides the legacy first-submit→last-complete span (which deflates
+    across idle gaps between replays), the stats track an
+    :class:`~repro.telemetry.ActivityWindow` and report
+    ``active_elapsed_s`` / ``active_throughput_fps``: throughput over the
+    time the server was actually serving.
     """
 
-    frames_submitted: int = 0
-    frames_completed: int = 0
-    max_in_flight: int = 0
-    latencies_s: "deque[float]" = field(
-        default_factory=lambda: deque(maxlen=LATENCY_WINDOW), repr=False
-    )
-    _in_flight: int = 0
-    _first_submit_s: Optional[float] = None
-    _last_completed_s: Optional[float] = None
-    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    def __init__(self, registry=None, _clock=None) -> None:
+        from ..telemetry import ActivityWindow, MetricsRegistry
+
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.latencies_s: "deque[float]" = deque(maxlen=LATENCY_WINDOW)
+        self._clock = _clock if _clock is not None else time.perf_counter
+        self._in_flight_gauge = self.registry.gauge(
+            "serving_in_flight", help="frames submitted but not yet completed"
+        )
+        self._submitted_counter = self.registry.counter(
+            "serving_frames_submitted_total", help="frames accepted by submit()"
+        )
+        self._completed_counter = self.registry.counter(
+            "serving_frames_completed_total", help="frames completed (or failed)"
+        )
+        self._max_in_flight_gauge = self.registry.gauge(
+            "serving_max_in_flight", help="high-watermark of the in-flight window"
+        )
+        self._latency_histogram = self.registry.histogram(
+            "serving_latency_s", help="per-frame extraction latency (seconds)"
+        )
+        self._active_gauge = self.registry.gauge(
+            "serving_active_s", help="accumulated active serving time (idle gaps capped)"
+        )
+        self._window = ActivityWindow(clock=self._clock)
+        self._first_submit_s: Optional[float] = None
+        self._last_completed_s: Optional[float] = None
+        self._lock = threading.Lock()
+
+    # -- registry-backed counters (legacy attribute names) -----------------
+    @property
+    def frames_submitted(self) -> int:
+        return self._submitted_counter.value
+
+    @property
+    def frames_completed(self) -> int:
+        return self._completed_counter.value
+
+    @property
+    def max_in_flight(self) -> int:
+        return self._max_in_flight_gauge.value
+
+    @property
+    def _in_flight(self) -> int:
+        return self._in_flight_gauge.value
+
+    def _touch_window(self) -> None:
+        """Advance the activity window (caller holds ``self._lock``)."""
+        self._window.touch()
+        self._active_gauge.set(self._window.active_s)
 
     def _submitted(self) -> None:
         with self._lock:
             if self._first_submit_s is None:
-                self._first_submit_s = time.perf_counter()
-            self.frames_submitted += 1
-            self._in_flight += 1
-            self.max_in_flight = max(self.max_in_flight, self._in_flight)
+                self._first_submit_s = self._clock()
+            self._submitted_counter.inc()
+            self._in_flight_gauge.inc()
+            self._max_in_flight_gauge.set_max(self._in_flight_gauge.value)
+            self._touch_window()
 
     def _completed(self, latency_s: float) -> None:
         with self._lock:
-            self._last_completed_s = time.perf_counter()
-            self.frames_completed += 1
-            self._in_flight -= 1
+            self._last_completed_s = self._clock()
+            self._completed_counter.inc()
+            self._in_flight_gauge.dec()
             self.latencies_s.append(latency_s)
+            self._latency_histogram.observe(latency_s)
+            self._touch_window()
 
     def _abandoned(self) -> None:
         """Undo a submission whose pool hand-off failed (never extracted)."""
         with self._lock:
-            self.frames_submitted -= 1
-            self._in_flight -= 1
+            self._submitted_counter.add(-1)
+            self._in_flight_gauge.dec()
 
     # -- derived metrics ---------------------------------------------------
     @property
     def latency_p50_ms(self) -> float:
-        """Median per-frame extraction latency (milliseconds)."""
-        with self._lock:  # snapshot: pool threads append concurrently
-            snapshot = tuple(self.latencies_s)
-        return percentile_ms(snapshot, 50.0)
+        """Median per-frame extraction latency (milliseconds).
+
+        Reads the bounded log-bucket histogram: O(buckets), no deque
+        snapshot or sort under the stats lock.
+        """
+        return 1000.0 * self._latency_histogram.percentile(50.0)
 
     @property
     def latency_p95_ms(self) -> float:
         """95th-percentile per-frame extraction latency (milliseconds)."""
-        with self._lock:
-            snapshot = tuple(self.latencies_s)
-        return percentile_ms(snapshot, 95.0)
+        return 1000.0 * self._latency_histogram.percentile(95.0)
 
     @property
     def elapsed_s(self) -> float:
@@ -187,8 +238,28 @@ class ServingStats:
             return 0.0
         return self.frames_completed / elapsed
 
+    @property
+    def active_elapsed_s(self) -> float:
+        """Accumulated *active* serving time (idle gaps capped at the
+        activity window's gap — ``docs/observability.md``)."""
+        with self._lock:
+            return self._window.active_s
+
+    @property
+    def active_throughput_fps(self) -> float:
+        """Completed frames per second of active serving time — immune to
+        idle gaps between replays, unlike the legacy ``throughput_fps``."""
+        active = self.active_elapsed_s
+        if active <= 0.0:
+            return 0.0
+        return self.frames_completed / active
+
     def as_dict(self) -> dict:
-        """JSON-friendly snapshot (benchmark reports)."""
+        """JSON-friendly snapshot (benchmark reports).
+
+        Every pre-telemetry key is preserved; ``active_elapsed_s`` /
+        ``active_throughput_fps`` are additive.
+        """
         return {
             "frames_submitted": self.frames_submitted,
             "frames_completed": self.frames_completed,
@@ -197,6 +268,8 @@ class ServingStats:
             "latency_p95_ms": self.latency_p95_ms,
             "elapsed_s": self.elapsed_s,
             "throughput_fps": self.throughput_fps,
+            "active_elapsed_s": self.active_elapsed_s,
+            "active_throughput_fps": self.active_throughput_fps,
         }
 
 
@@ -215,6 +288,15 @@ class FrameServer:
         Back-pressure bound on submitted-but-unfinished frames; defaults to
         ``2 * max_workers`` so the pool always has queued work without
         holding unbounded images alive.
+    registry:
+        Optional :class:`~repro.telemetry.MetricsRegistry` the server's
+        :class:`ServingStats` registers its metrics in (a private registry
+        is created when omitted); pass one registry to several servers to
+        scrape them as one surface.
+    tracer:
+        Optional :class:`~repro.telemetry.Tracer`; when enabled, submit /
+        extract spans and per-frame ``resolve`` instants are recorded
+        (``docs/observability.md``).  Defaults to a disabled no-op tracer.
     """
 
     def __init__(
@@ -223,7 +305,11 @@ class FrameServer:
         config: Optional[ExtractorConfig] = None,
         max_workers: int = 4,
         max_in_flight: Optional[int] = None,
+        registry=None,
+        tracer=None,
     ) -> None:
+        from ..telemetry import Tracer
+
         if max_workers <= 0:
             raise ReproError("max_workers must be positive")
         if extractor is not None and config is not None and extractor.config != config:
@@ -233,7 +319,9 @@ class FrameServer:
         self.max_in_flight = 2 * max_workers if max_in_flight is None else max_in_flight
         if self.max_in_flight < max_workers:
             raise ReproError("max_in_flight must be >= max_workers")
-        self.stats = ServingStats()
+        self.tracer = tracer if tracer is not None else Tracer(track="serving")
+        self.stats = ServingStats(registry=registry)
+        self.registry = self.stats.registry
         self._slots = threading.BoundedSemaphore(self.max_in_flight)
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="frame-server"
@@ -282,16 +370,17 @@ class FrameServer:
             raise ReproError("deadline_s must be positive")
         submitted_s = time.perf_counter()
         deadline = submitted_s + deadline_s if deadline_s is not None else None
-        self._slots.acquire()
-        self.stats._submitted()
-        try:
-            future = self._pool.submit(
-                self._extract_one, image, frame_id, deadline, submitted_s
-            )
-        except BaseException:
-            self.stats._abandoned()
-            self._slots.release()
-            raise
+        with self.tracer.span("submit", frame=frame_id):
+            self._slots.acquire()
+            self.stats._submitted()
+            try:
+                future = self._pool.submit(
+                    self._extract_one, image, frame_id, deadline, submitted_s
+                )
+            except BaseException:
+                self.stats._abandoned()
+                self._slots.release()
+                raise
         return future
 
     def _extract_one(
@@ -315,9 +404,14 @@ class FrameServer:
                         ),
                     ),
                 )
-            return self.extractor.extract(image, frame_id=frame_id)
+            with self.tracer.span("extract", frame=frame_id):
+                return self.extractor.extract(image, frame_id=frame_id)
         finally:
+            if submitted_s is not None:
+                # pool-queue wait: cross-thread by nature, so an async record
+                self.tracer.record("queue_wait", submitted_s, start, frame=frame_id)
             self.stats._completed(time.perf_counter() - start)
+            self.tracer.instant("resolve", frame=frame_id)
             self._slots.release()
 
     def extract_many(

@@ -11,6 +11,7 @@ cycle.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import List, Optional
@@ -22,6 +23,7 @@ from ..dataset import RgbdFrame, RgbdSequence
 from ..errors import ReproError
 from ..geometry import Pose
 from ..serving import stable_frame_id
+from ..telemetry import current_tracer
 from .evaluation import AteResult, absolute_trajectory_error
 from .frame import Frame
 from .tracker import Tracker, TrackingResult
@@ -164,6 +166,7 @@ class SlamSystem:
         submit_kwargs = {}
         if frame_deadline_s is not None:
             submit_kwargs["deadline_s"] = frame_deadline_s
+        tracer = current_tracer()
         for index, rgbd_frame in enumerate(frames):
             extraction = None
             if frame_server is not None:
@@ -177,8 +180,23 @@ class SlamSystem:
                         )
                     )
                     next_to_submit += 1
-                extraction = pending.popleft().result()
-            tracking = self.process_frame(rgbd_frame, sequence.camera, extraction=extraction)
+                if tracer.enabled:
+                    wait_start = time.perf_counter()
+                    extraction = pending.popleft().result()
+                    # tracker-side stall waiting on the serving pipeline —
+                    # nonzero only when extraction lags tracking
+                    tracer.record(
+                        "await_result",
+                        wait_start,
+                        time.perf_counter(),
+                        frame=frame_ids[index],
+                    )
+                else:
+                    extraction = pending.popleft().result()
+            with tracer.span("track", frame=rgbd_frame.index):
+                tracking = self.process_frame(
+                    rgbd_frame, sequence.camera, extraction=extraction
+                )
             result.frame_results.append(tracking)
             result.estimated_poses.append(tracking.pose)
             result.ground_truth_poses.append(rgbd_frame.ground_truth_pose)
